@@ -1,0 +1,142 @@
+// Ablations for the design choices DESIGN.md calls out.
+//
+//  A. Equality substitution before Fourier-Motzkin vs raw FM on the same
+//     system with equalities split into inequality pairs — measures how
+//     much the Gaussian fast path buys during elimination.
+//  B. Canonicalize-early (dedupe after every FM step, the default) vs a
+//     no-simplification pipeline — measured through output atom counts on
+//     a chained elimination.
+//  C. SELECT-result canonicalization level: kCheap vs kRedundancy in the
+//     evaluator — the price of paper-style fully simplified answers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraint/fourier_motzkin.h"
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+namespace lyric {
+namespace {
+
+// --- A: equality substitution vs split equalities --------------------------
+
+Conjunction SystemWithEqualities(int extra_atoms, uint64_t seed) {
+  auto vars = bench::BenchVars(4);
+  Conjunction c = bench::RandomPolytope(vars, extra_atoms, seed);
+  // Chain of equalities linking the variables.
+  for (size_t i = 0; i + 1 < vars.size(); ++i) {
+    c.Add(LinearConstraint::Eq(
+        LinearExpr::Var(vars[i]),
+        LinearExpr::Var(vars[i + 1]) + LinearExpr::Constant(Rational(1))));
+  }
+  return c;
+}
+
+Conjunction SplitEqualities(const Conjunction& c) {
+  Conjunction out;
+  for (const LinearConstraint& atom : c.atoms()) {
+    if (atom.IsEquality()) {
+      out.Add(LinearConstraint(atom.lhs(), RelOp::kLe));
+      out.Add(LinearConstraint(-atom.lhs(), RelOp::kLe));
+    } else {
+      out.Add(atom);
+    }
+  }
+  return out;
+}
+
+void BM_EliminateWithEqualitySubstitution(benchmark::State& state) {
+  auto vars = bench::BenchVars(4);
+  Conjunction c =
+      SystemWithEqualities(static_cast<int>(state.range(0)), 51);
+  VarSet keep{vars[0]};
+  size_t atoms_out = 0;
+  for (auto _ : state) {
+    auto r = FourierMotzkin::ProjectOnto(c, keep);
+    benchmark::DoNotOptimize(r);
+    atoms_out = r.value().size();
+  }
+  state.counters["atoms_out"] = static_cast<double>(atoms_out);
+}
+BENCHMARK(BM_EliminateWithEqualitySubstitution)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EliminateWithSplitEqualities(benchmark::State& state) {
+  auto vars = bench::BenchVars(4);
+  Conjunction c = SplitEqualities(
+      SystemWithEqualities(static_cast<int>(state.range(0)), 51));
+  VarSet keep{vars[0]};
+  size_t atoms_out = 0;
+  for (auto _ : state) {
+    auto r = FourierMotzkin::ProjectOnto(c, keep);
+    benchmark::DoNotOptimize(r);
+    atoms_out = r.value().size();
+  }
+  state.counters["atoms_out"] = static_cast<double>(atoms_out);
+}
+BENCHMARK(BM_EliminateWithSplitEqualities)->Arg(2)->Arg(4)->Arg(8);
+
+// --- C: evaluator canonicalization level ------------------------------------
+
+void RunEvaluatorAtLevel(benchmark::State& state, CanonicalLevel level) {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  (void)ids;
+  auto st = office::AddScaledDesks(&db, 16, 7);
+  (void)st;
+  EvalOptions opts;
+  opts.canonical_level = level;
+  const char* q =
+      "SELECT O, ((u, v) | E(w, z) and D(w, z, x, y, u, v) and L(x, y)) "
+      "FROM Object_in_Room O, Office_Object CO "
+      "WHERE O.catalog_object[CO] and O.location[L] and "
+      "CO.extent[E] and CO.translation[D]";
+  for (auto _ : state) {
+    Evaluator ev(&db, opts);
+    auto r = ev.Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_SelectCanonicalCheap(benchmark::State& state) {
+  RunEvaluatorAtLevel(state, CanonicalLevel::kCheap);
+}
+void BM_SelectCanonicalRedundancy(benchmark::State& state) {
+  RunEvaluatorAtLevel(state, CanonicalLevel::kRedundancy);
+}
+BENCHMARK(BM_SelectCanonicalCheap);
+BENCHMARK(BM_SelectCanonicalRedundancy);
+
+// --- lazy vs eager SELECT projection ---------------------------------------
+
+void RunProjectionMode(benchmark::State& state, bool eager) {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  (void)ids;
+  auto st = office::AddScaledDesks(&db, 16, 7);
+  (void)st;
+  EvalOptions opts;
+  opts.eager_select_projection = eager;
+  const char* q =
+      "SELECT O, ((u, v) | E(w, z) and D(w, z, x, y, u, v) and L(x, y)) "
+      "FROM Object_in_Room O, Office_Object CO "
+      "WHERE O.catalog_object[CO] and O.location[L] and "
+      "CO.extent[E] and CO.translation[D]";
+  for (auto _ : state) {
+    Evaluator ev(&db, opts);
+    auto r = ev.Execute(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_SelectProjectionEager(benchmark::State& state) {
+  RunProjectionMode(state, true);
+}
+void BM_SelectProjectionLazy(benchmark::State& state) {
+  RunProjectionMode(state, false);
+}
+BENCHMARK(BM_SelectProjectionEager);
+BENCHMARK(BM_SelectProjectionLazy);
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,81 @@
+// E4 — §3.1's canonical-form cost ladder.
+//
+// The paper commits to exactly two disjunction simplifications (delete
+// inconsistent disjuncts, delete syntactic duplicates) because full
+// redundancy detection is co-NP-complete, and adopts the [BJM93]
+// conjunctive canonical form within a disjunct. The three levels here
+// measure that ladder on DNFs with planted duplicates and inconsistent
+// disjuncts:
+//
+//   kSyntactic  — sorting + structural dedupe only (no LP)
+//   kCheap      — + Gaussian equality solving + one feasibility LP per
+//                 disjunct (the paper's default)
+//   kRedundancy — + LP-based redundant-atom removal (quadratic LP calls)
+//
+// Expected shape: near-linear, linear-with-LP-factor, and visibly
+// superlinear cost respectively; disjunct counts after simplification are
+// reported as counters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraint/canonical.h"
+
+namespace lyric {
+namespace {
+
+void RunLevel(benchmark::State& state, CanonicalLevel level) {
+  auto vars = bench::BenchVars(4);
+  Dnf d = bench::RandomDnf(vars, static_cast<int>(state.range(0)),
+                           /*atoms=*/8, /*seed=*/3);
+  size_t out_disjuncts = 0;
+  for (auto _ : state) {
+    auto r = Canonical::Simplify(d, level);
+    benchmark::DoNotOptimize(r);
+    out_disjuncts = r.value().size();
+  }
+  state.counters["disjuncts_in"] = static_cast<double>(d.size());
+  state.counters["disjuncts_out"] = static_cast<double>(out_disjuncts);
+}
+
+void BM_CanonicalSyntactic(benchmark::State& state) {
+  RunLevel(state, CanonicalLevel::kSyntactic);
+}
+void BM_CanonicalCheap(benchmark::State& state) {
+  RunLevel(state, CanonicalLevel::kCheap);
+}
+void BM_CanonicalRedundancy(benchmark::State& state) {
+  RunLevel(state, CanonicalLevel::kRedundancy);
+}
+
+BENCHMARK(BM_CanonicalSyntactic)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_CanonicalCheap)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_CanonicalRedundancy)->Arg(4)->Arg(16)->Arg(64);
+
+// Within one conjunct: how much does redundancy removal shrink systems
+// with many implied atoms?
+void BM_ConjunctRedundancyRemoval(benchmark::State& state) {
+  auto vars = bench::BenchVars(4);
+  // Stack of nested boxes: all but the innermost bounds are redundant.
+  Conjunction c;
+  for (int64_t k = 1; k <= state.range(0); ++k) {
+    for (VarId v : vars) {
+      c.Add(LinearConstraint::Le(LinearExpr::Var(v),
+                                 LinearExpr::Constant(Rational(k))));
+      c.Add(LinearConstraint::Ge(LinearExpr::Var(v),
+                                 LinearExpr::Constant(Rational(-k))));
+    }
+  }
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    auto r = Canonical::Simplify(c, CanonicalLevel::kRedundancy);
+    benchmark::DoNotOptimize(r);
+    out_atoms = r.value().size();
+  }
+  state.counters["atoms_in"] = static_cast<double>(c.size());
+  state.counters["atoms_out"] = static_cast<double>(out_atoms);
+}
+BENCHMARK(BM_ConjunctRedundancyRemoval)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,95 @@
+// E8 — the §5 naive implementation vs the direct object evaluator.
+//
+// The same queries run (a) directly on the object database and (b) after
+// flattening, through the LyriC -> SQL-with-constraints translation.
+// Expected shape: both PTIME in the database size; flattening itself is
+// linear; the flat path pays the up-front unnesting joins, the direct
+// path pays per-binding path walks — who wins flips with how selective
+// the WHERE is (flat pre-joins amortize over low selectivity).
+
+#include <benchmark/benchmark.h>
+
+#include "office/office_db.h"
+#include "query/evaluator.h"
+#include "relational/translator.h"
+
+namespace lyric {
+namespace {
+
+const char* kFilterQuery =
+    "SELECT O FROM Object_in_Room O "
+    "WHERE O.location[L] and SAT(L(x, y) and 0 <= x and x <= 10 and "
+    "0 <= y and y <= 5)";
+
+const char* kJoinQuery =
+    "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]";
+
+const char* kConstructQuery =
+    "SELECT O, ((u, v) | E(w, z) and D(w, z, x, y, u, v) and L(x, y)) "
+    "FROM Object_in_Room O, Office_Object CO "
+    "WHERE O.catalog_object[CO] and O.location[L] and "
+    "CO.extent[E] and CO.translation[D]";
+
+Database MakeDb(int desks) {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  (void)ids;
+  auto st = office::AddScaledDesks(&db, desks, /*seed=*/99);
+  (void)st;
+  return db;
+}
+
+void RunDirect(benchmark::State& state, const char* query) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Evaluator ev(&db);
+    auto r = ev.Execute(query);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void RunFlat(benchmark::State& state, const char* query) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  FlatDatabase flat = FlatDatabase::Flatten(db).value();
+  for (auto _ : state) {
+    FlatTranslator tr(&flat, &db);
+    auto r = tr.Execute(query);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Flattening(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    auto flat = FlatDatabase::Flatten(db);
+    benchmark::DoNotOptimize(flat);
+    tuples = flat.value().TotalTuples();
+  }
+  state.counters["flat_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_Flattening)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FilterDirect(benchmark::State& state) {
+  RunDirect(state, kFilterQuery);
+}
+void BM_FilterFlat(benchmark::State& state) { RunFlat(state, kFilterQuery); }
+BENCHMARK(BM_FilterDirect)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_FilterFlat)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_JoinDirect(benchmark::State& state) { RunDirect(state, kJoinQuery); }
+void BM_JoinFlat(benchmark::State& state) { RunFlat(state, kJoinQuery); }
+BENCHMARK(BM_JoinDirect)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_JoinFlat)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ConstructDirect(benchmark::State& state) {
+  RunDirect(state, kConstructQuery);
+}
+void BM_ConstructFlat(benchmark::State& state) {
+  RunFlat(state, kConstructQuery);
+}
+BENCHMARK(BM_ConstructDirect)->Arg(16)->Arg(64);
+BENCHMARK(BM_ConstructFlat)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,128 @@
+// E10 — the manufacturing / warehouse LP workload (§1.2).
+//
+// Synthetic process hierarchy: P alternative processes over M raw
+// materials and K products, each a random feasible polytope. The paper's
+// question list maps onto (a) per-process profit maximization (a classic
+// LP per stored constraint), (b) purchase planning (MIN per material),
+// and (c) producible-range projection. Expected shape: everything is
+// polynomial; cost per process grows with M + K.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraint/cst_object.h"
+
+namespace lyric {
+namespace {
+
+struct Factory {
+  std::vector<VarId> materials;
+  std::vector<VarId> products;
+  std::vector<CstObject> processes;
+};
+
+Factory MakeFactory(int num_processes, int num_materials, int num_products,
+                    uint64_t seed) {
+  Factory f;
+  for (int m = 0; m < num_materials; ++m) {
+    f.materials.push_back(Variable::Intern("fm" + std::to_string(m)));
+  }
+  for (int k = 0; k < num_products; ++k) {
+    f.products.push_back(Variable::Intern("fp" + std::to_string(k)));
+  }
+  std::vector<VarId> all = f.materials;
+  all.insert(all.end(), f.products.begin(), f.products.end());
+  std::mt19937_64 rng(seed);
+  for (int p = 0; p < num_processes; ++p) {
+    Conjunction c;
+    for (VarId v : all) {
+      c.Add(LinearConstraint::Ge(LinearExpr::Var(v),
+                                 LinearExpr::Constant(Rational(0))));
+    }
+    // Each product consumes a random bundle of materials.
+    for (VarId prod : f.products) {
+      LinearExpr need;
+      for (VarId mat : f.materials) {
+        need.AddTerm(mat, Rational(-1 * static_cast<int64_t>(rng() % 3)));
+      }
+      need.AddTerm(prod, Rational(1 + static_cast<int64_t>(rng() % 3)));
+      c.Add(LinearConstraint::Le(need, LinearExpr::Constant(Rational(0))));
+    }
+    // Throughput cap.
+    LinearExpr total;
+    for (VarId prod : f.products) total.AddTerm(prod, Rational(1));
+    c.Add(LinearConstraint::Le(
+        total, LinearExpr::Constant(Rational(
+                   40 + static_cast<int64_t>(rng() % 40)))));
+    // Material availability.
+    for (VarId mat : f.materials) {
+      c.Add(LinearConstraint::Le(
+          LinearExpr::Var(mat),
+          LinearExpr::Constant(Rational(
+              50 + static_cast<int64_t>(rng() % 100)))));
+    }
+    f.processes.push_back(CstObject::FromConjunction(all, c).value());
+  }
+  return f;
+}
+
+void BM_BestProcessSelection(benchmark::State& state) {
+  Factory f = MakeFactory(static_cast<int>(state.range(0)), 4, 3, 42);
+  LinearExpr profit;
+  for (size_t k = 0; k < f.products.size(); ++k) {
+    profit.AddTerm(f.products[k], Rational(5 + static_cast<int64_t>(k)));
+  }
+  for (VarId mat : f.materials) profit.AddTerm(mat, Rational(-1));
+  for (auto _ : state) {
+    Rational best(-1000000);
+    size_t best_p = 0;
+    for (size_t p = 0; p < f.processes.size(); ++p) {
+      auto sol = f.processes[p].Maximize(profit).value();
+      if (sol.status == LpStatus::kOptimal && sol.value > best) {
+        best = sol.value;
+        best_p = p;
+      }
+    }
+    benchmark::DoNotOptimize(best_p);
+  }
+  state.counters["processes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BestProcessSelection)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PurchasePlanning(benchmark::State& state) {
+  Factory f = MakeFactory(4, static_cast<int>(state.range(0)), 3, 43);
+  // Demand floor on every product.
+  Conjunction demand;
+  for (VarId prod : f.products) {
+    demand.Add(LinearConstraint::Ge(LinearExpr::Var(prod),
+                                    LinearExpr::Constant(Rational(5))));
+  }
+  CstObject demand_obj =
+      CstObject::FromConjunction(f.products, demand).value();
+  for (auto _ : state) {
+    for (const CstObject& proc : f.processes) {
+      CstObject joint = proc.Conjoin(demand_obj).value();
+      for (VarId mat : f.materials) {
+        auto need = joint.Minimize(LinearExpr::Var(mat));
+        benchmark::DoNotOptimize(need);
+      }
+    }
+  }
+  state.counters["materials"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PurchasePlanning)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProducibleRangeProjection(benchmark::State& state) {
+  Factory f = MakeFactory(1, static_cast<int>(state.range(0)), 2, 44);
+  for (auto _ : state) {
+    // Project the single process onto the two products (eager, the
+    // "connection among the quantities" answer).
+    auto region = f.processes[0].ProjectEager(f.products);
+    benchmark::DoNotOptimize(region);
+  }
+  state.counters["materials"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ProducibleRangeProjection)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace lyric

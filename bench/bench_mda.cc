@@ -1,0 +1,101 @@
+// E9 — the submarine Maneuver Decision Aid workload (§1.2, [BVCS93]).
+//
+// Synthetic substitute for the proprietary NUWC goal base: G goals over
+// the 4-dimensional maneuver space (course, speed, depth, time), each a
+// random polytope around a feasible operating point. The decision-aid
+// queries are (a) joint feasibility of the k highest-priority goals and
+// (b) the fastest maneuver meeting them — exactly the conjunction +
+// optimization shapes the paper motivates.
+//
+// Expected shape: feasibility scales linearly in the number of conjoined
+// goals (one growing LP); the optimization pays one more LP of the same
+// size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraint/cst_object.h"
+
+namespace lyric {
+namespace {
+
+std::vector<VarId> Dims() {
+  return {Variable::Intern("course"), Variable::Intern("speed"),
+          Variable::Intern("depth"), Variable::Intern("time")};
+}
+
+std::vector<CstObject> MakeGoals(int count, uint64_t seed) {
+  std::vector<CstObject> out;
+  auto dims = Dims();
+  for (int g = 0; g < count; ++g) {
+    Conjunction c = bench::RandomPolytope(dims, 6, seed + g, 3, 1000);
+    out.push_back(CstObject::FromConjunction(dims, c).value());
+  }
+  return out;
+}
+
+void BM_JointGoalFeasibility(benchmark::State& state) {
+  auto goals = MakeGoals(static_cast<int>(state.range(0)), 123);
+  for (auto _ : state) {
+    CstObject joint = goals[0];
+    for (size_t i = 1; i < goals.size(); ++i) {
+      joint = joint.Conjoin(goals[i]).value();
+    }
+    auto sat = joint.Satisfiable();
+    benchmark::DoNotOptimize(sat);
+  }
+  state.counters["goals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_JointGoalFeasibility)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BestManeuver(benchmark::State& state) {
+  auto goals = MakeGoals(static_cast<int>(state.range(0)), 321);
+  LinearExpr speed = LinearExpr::Var(Variable::Intern("speed"));
+  for (auto _ : state) {
+    CstObject joint = goals[0];
+    for (size_t i = 1; i < goals.size(); ++i) {
+      joint = joint.Conjoin(goals[i]).value();
+    }
+    auto best = joint.Maximize(speed);
+    benchmark::DoNotOptimize(best);
+  }
+  state.counters["goals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BestManeuver)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ManeuverRegionDisplay(benchmark::State& state) {
+  // The helmsman's 2-D display: project the joint region onto
+  // (speed, depth) eagerly.
+  auto goals = MakeGoals(static_cast<int>(state.range(0)), 555);
+  std::vector<VarId> display{Variable::Intern("speed"),
+                             Variable::Intern("depth")};
+  for (auto _ : state) {
+    CstObject joint = goals[0];
+    for (size_t i = 1; i < goals.size(); ++i) {
+      joint = joint.Conjoin(goals[i]).value();
+    }
+    auto region = joint.ProjectEager(display);
+    benchmark::DoNotOptimize(region);
+  }
+  state.counters["goals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ManeuverRegionDisplay)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ContradictingGoalPairs(benchmark::State& state) {
+  auto goals = MakeGoals(static_cast<int>(state.range(0)), 777);
+  for (auto _ : state) {
+    int conflicts = 0;
+    for (size_t i = 0; i < goals.size(); ++i) {
+      for (size_t j = i + 1; j < goals.size(); ++j) {
+        CstObject both = goals[i].Conjoin(goals[j]).value();
+        if (!both.Satisfiable().value()) ++conflicts;
+      }
+    }
+    benchmark::DoNotOptimize(conflicts);
+  }
+  state.counters["goals"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ContradictingGoalPairs)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,97 @@
+// E3 — §3.1's restricted-projection argument.
+//
+// The paper's four constraint families exist because restricted
+// quantifier elimination (eliminate ONE variable, or keep AT MOST ONE) is
+// polynomial, while unrestricted elimination blows up. This bench
+// regenerates that comparison:
+//
+//   EliminateOne     — one Fourier-Motzkin step (quadratic output)
+//   KeepOneViaLp     — projection onto one variable as two LPs (the
+//                      paper's other restricted case)
+//   EliminateMany    — iterated FM down to 2 variables (exponential
+//                      worst case; output size reported as a counter)
+//
+// Expected shape: the first two scale polynomially with the number of
+// atoms; the third's time and output size grow much faster with the
+// number of eliminated variables.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraint/existential.h"
+#include "constraint/fourier_motzkin.h"
+
+namespace lyric {
+namespace {
+
+void BM_EliminateOne(benchmark::State& state) {
+  auto vars = bench::BenchVars(6);
+  Conjunction c = bench::RandomPolytope(
+      vars, static_cast<int>(state.range(0)), /*seed=*/7);
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    auto r = FourierMotzkin::EliminateVariable(c, vars[0]);
+    benchmark::DoNotOptimize(r);
+    out_atoms = r.value().size();
+  }
+  state.counters["atoms_in"] = static_cast<double>(c.size());
+  state.counters["atoms_out"] = static_cast<double>(out_atoms);
+}
+BENCHMARK(BM_EliminateOne)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_KeepOneViaLp(benchmark::State& state) {
+  auto vars = bench::BenchVars(6);
+  Conjunction c = bench::RandomPolytope(
+      vars, static_cast<int>(state.range(0)), /*seed=*/7);
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    auto r = FourierMotzkin::ProjectOntoAtMostOne(c, vars[0]);
+    benchmark::DoNotOptimize(r);
+    out_atoms = r.value().size();
+  }
+  state.counters["atoms_in"] = static_cast<double>(c.size());
+  state.counters["atoms_out"] = static_cast<double>(out_atoms);
+}
+BENCHMARK(BM_KeepOneViaLp)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->MinTime(0.1);
+
+// Unrestricted: eliminate range(0) of 6 variables from a 12-atom system.
+void BM_EliminateMany(benchmark::State& state) {
+  auto vars = bench::BenchVars(6);
+  Conjunction c = bench::RandomPolytope(vars, 12, /*seed=*/11);
+  VarSet keep;
+  for (size_t i = static_cast<size_t>(state.range(0)); i < vars.size();
+       ++i) {
+    keep.insert(vars[i]);
+  }
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    auto r = FourierMotzkin::ProjectOnto(c, keep);
+    benchmark::DoNotOptimize(r);
+    out_atoms = r.value().size();
+  }
+  state.counters["eliminated"] = static_cast<double>(state.range(0));
+  state.counters["atoms_out"] = static_cast<double>(out_atoms);
+}
+BENCHMARK(BM_EliminateMany)->DenseRange(1, 3)->MinTime(0.05);
+
+// The same elimination done lazily in the existential family: projection
+// is constant-time there (§3.1's entire point).
+void BM_LazyExistentialProjection(benchmark::State& state) {
+  auto vars = bench::BenchVars(6);
+  Conjunction c = bench::RandomPolytope(vars, 12, /*seed=*/11);
+  VarSet keep;
+  for (size_t i = static_cast<size_t>(state.range(0)); i < vars.size();
+       ++i) {
+    keep.insert(vars[i]);
+  }
+  ExistentialConjunction ec(c);
+  for (auto _ : state) {
+    ExistentialConjunction projected = ec.Project(keep);
+    benchmark::DoNotOptimize(projected);
+  }
+  state.counters["eliminated"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LazyExistentialProjection)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace lyric

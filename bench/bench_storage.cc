@@ -1,0 +1,62 @@
+// Persistence costs: dumping and loading scale linearly with the
+// database; constraint bodies round-trip through canonical forms, so
+// loading re-parses and re-interns each distinct constraint once.
+
+#include <benchmark/benchmark.h>
+
+#include "office/office_db.h"
+#include "storage/serializer.h"
+
+namespace lyric {
+namespace {
+
+Database MakeDb(int desks) {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  (void)ids;
+  // Per-desk catalogs maximize distinct constraint objects.
+  auto st = office::AddScaledDesks(&db, desks, /*seed=*/3,
+                                   /*share_catalog=*/false);
+  (void)st;
+  return db;
+}
+
+void BM_DumpDatabase(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto text = Serializer::DumpDatabase(db);
+    benchmark::DoNotOptimize(text);
+    bytes = text.value().size();
+  }
+  state.counters["objects"] = static_cast<double>(db.ObjectCount());
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DumpDatabase)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LoadDatabase(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  std::string text = Serializer::DumpDatabase(db).value();
+  for (auto _ : state) {
+    Database loaded;
+    auto st = Serializer::LoadDatabase(text, &loaded);
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["objects"] = static_cast<double>(db.ObjectCount());
+}
+BENCHMARK(BM_LoadDatabase)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RoundTrip(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string text = Serializer::DumpDatabase(db).value();
+    Database loaded;
+    auto st = Serializer::LoadDatabase(text, &loaded);
+    benchmark::DoNotOptimize(st);
+  }
+  state.counters["objects"] = static_cast<double>(db.ObjectCount());
+}
+BENCHMARK(BM_RoundTrip)->Arg(16);
+
+}  // namespace
+}  // namespace lyric

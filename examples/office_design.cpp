@@ -1,0 +1,203 @@
+// Office design (§1.2): constraint-based layout in a 20 x 10 room.
+//
+// Reproduces the designer questions from the introduction:
+//  * which placed objects overlap (wrong designs)?
+//  * can an additional desk be placed so that its swept drawer area
+//    touches nothing, leaving a free 4 x 4 square?
+//  * what is the largest square of empty space (maximized with the exact
+//    LP solver)?
+//
+// Works at two levels: LyriC queries for the database part, the CstObject
+// and geometry APIs for the packing arithmetic.
+
+#include <iostream>
+
+#include "geometry/polytope2.h"
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+using namespace lyric;  // NOLINT - example code.
+
+namespace {
+
+constexpr int64_t kRoomW = 20;
+constexpr int64_t kRoomH = 10;
+
+// The room-coordinate footprint of an Object_in_Room: extent conjoined
+// with translation and location, projected onto (u, v).
+Result<CstObject> Footprint(Database* db, const Oid& obj) {
+  LYRIC_ASSIGN_OR_RETURN(Value loc, db->GetAttribute(obj, "location"));
+  LYRIC_ASSIGN_OR_RETURN(Value cat, db->GetAttribute(obj, "catalog_object"));
+  LYRIC_ASSIGN_OR_RETURN(Value ext,
+                         db->GetAttribute(cat.scalar(), "extent"));
+  LYRIC_ASSIGN_OR_RETURN(Value tr,
+                         db->GetAttribute(cat.scalar(), "translation"));
+  LYRIC_ASSIGN_OR_RETURN(CstObject location, db->GetCst(loc.scalar()));
+  LYRIC_ASSIGN_OR_RETURN(CstObject extent, db->GetCst(ext.scalar()));
+  LYRIC_ASSIGN_OR_RETURN(CstObject translation, db->GetCst(tr.scalar()));
+  auto iv = [](const char* n) { return Variable::Intern(n); };
+  // Align interfaces with the schema names.
+  LYRIC_ASSIGN_OR_RETURN(extent, extent.RenameTo({iv("w"), iv("z")}));
+  LYRIC_ASSIGN_OR_RETURN(
+      translation, translation.RenameTo({iv("w"), iv("z"), iv("x"), iv("y"),
+                                         iv("u"), iv("v")}));
+  LYRIC_ASSIGN_OR_RETURN(location, location.RenameTo({iv("x"), iv("y")}));
+  LYRIC_ASSIGN_OR_RETURN(CstObject all, extent.Conjoin(translation));
+  LYRIC_ASSIGN_OR_RETURN(all, all.Conjoin(location));
+  return all.ProjectEager({iv("u"), iv("v")});
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  if (!ids.ok()) {
+    std::cerr << ids.status() << "\n";
+    return 1;
+  }
+  // Furnish the room with a handful of deterministic desks.
+  if (auto st = office::AddScaledDesks(&db, 6, 2024); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "Room " << kRoomW << " x " << kRoomH << " with "
+            << db.Extent("Object_in_Room").size() << " placed objects.\n\n";
+
+  // 1. Overlapping pairs, via the §2.2 Overlap view.
+  Evaluator ev(&db);
+  auto overlaps = ev.Execute(
+      "CREATE VIEW Overlap AS SUBCLASS OF Object_in_Room "
+      "SELECT first = O1, second = O2 "
+      "FROM Object_in_Room O1, Object_in_Room O2 "
+      "OID FUNCTION OF O1, O2 "
+      "WHERE O1.location[L1] and O1.catalog_object.extent[E1] and "
+      "O1.catalog_object.translation[D1] and "
+      "O2.location[L2] and O2.catalog_object.extent[E2] and "
+      "O2.catalog_object.translation[D2] and "
+      "not O1.inv_number = O2.inv_number and "
+      "SAT( ((u, v) | E1(w, z) and D1(w, z, x, y, u, v) and L1(x, y)) and "
+      "((u, v) | E2(w2, z2) and D2(w2, z2, x2, y2, u, v) and L2(x2, y2)) )");
+  if (!overlaps.ok()) {
+    std::cerr << overlaps.status() << "\n";
+    return 1;
+  }
+  std::cout << "Overlapping placements (design errors):\n"
+            << overlaps->ToString() << "\n\n";
+
+  // 2. Where can one more desk (footprint 8 x 4 around its center) go so
+  // it clears every existing object? Build the feasible-center region by
+  // conjoining the complements of the inflated obstacles.
+  VarId cx = Variable::Intern("cx");
+  VarId cy = Variable::Intern("cy");
+  // Centers must keep the desk inside the walls.
+  Conjunction walls;
+  walls.Add(LinearConstraint::Ge(LinearExpr::Var(cx),
+                                 LinearExpr::Constant(Rational(4))));
+  walls.Add(LinearConstraint::Le(LinearExpr::Var(cx),
+                                 LinearExpr::Constant(Rational(kRoomW - 4))));
+  walls.Add(LinearConstraint::Ge(LinearExpr::Var(cy),
+                                 LinearExpr::Constant(Rational(2))));
+  walls.Add(LinearConstraint::Le(LinearExpr::Var(cy),
+                                 LinearExpr::Constant(Rational(kRoomH - 2))));
+  CstObject feasible = CstObject::FromDnf({cx, cy}, Dnf(walls)).value();
+  for (const Oid& obj : db.Extent("Object_in_Room")) {
+    auto fp = Footprint(&db, obj);
+    if (!fp.ok()) continue;
+    // Inflate the footprint by the new desk's half sizes (Minkowski sum of
+    // boxes): centers closer than (4, 2) to the footprint collide. The
+    // footprints here are boxes, so inflating the (u, v) bounds suffices.
+    auto mxu = fp->Maximize(LinearExpr::Var(Variable::Intern("u"))).value();
+    auto mnu = fp->Minimize(LinearExpr::Var(Variable::Intern("u"))).value();
+    auto mxv = fp->Maximize(LinearExpr::Var(Variable::Intern("v"))).value();
+    auto mnv = fp->Minimize(LinearExpr::Var(Variable::Intern("v"))).value();
+    Conjunction blocked;
+    blocked.Add(LinearConstraint::Ge(
+        LinearExpr::Var(cx), LinearExpr::Constant(mnu.value - Rational(4))));
+    blocked.Add(LinearConstraint::Le(
+        LinearExpr::Var(cx), LinearExpr::Constant(mxu.value + Rational(4))));
+    blocked.Add(LinearConstraint::Ge(
+        LinearExpr::Var(cy), LinearExpr::Constant(mnv.value - Rational(2))));
+    blocked.Add(LinearConstraint::Le(
+        LinearExpr::Var(cy), LinearExpr::Constant(mxv.value + Rational(2))));
+    CstObject obstacle = CstObject::FromConjunction({cx, cy}, blocked).value();
+    CstObject avoid = obstacle.Negate().value();
+    feasible = feasible.Conjoin(avoid).value();
+  }
+  feasible = feasible.Canonicalize(CanonicalLevel::kCheap).value();
+  bool any = feasible.Satisfiable().value();
+  std::cout << "Can another 8 x 4 desk be placed? "
+            << (any ? "yes" : "no") << "\n";
+  if (any) {
+    auto pt = feasible.Body().FindPoint().value();
+    std::cout << "  e.g. center at (" << pt->at(cx) << ", " << pt->at(cy)
+              << ")\n";
+  }
+  std::cout << "\n";
+
+  // 3. The largest empty square: maximize s such that some axis-aligned
+  // square [a, a+s] x [b, b+s] avoids every footprint. Solved by scanning
+  // the disjuncts of the free-space region with the LP solver.
+  VarId a = Variable::Intern("a");
+  VarId b = Variable::Intern("b");
+  VarId s = Variable::Intern("s");
+  Conjunction inside;
+  inside.Add(LinearConstraint::Ge(LinearExpr::Var(s),
+                                  LinearExpr::Constant(Rational(0))));
+  inside.Add(LinearConstraint::Ge(LinearExpr::Var(a),
+                                  LinearExpr::Constant(Rational(0))));
+  inside.Add(LinearConstraint::Ge(LinearExpr::Var(b),
+                                  LinearExpr::Constant(Rational(0))));
+  inside.Add(LinearConstraint::Le(LinearExpr::Var(a) + LinearExpr::Var(s),
+                                  LinearExpr::Constant(Rational(kRoomW))));
+  inside.Add(LinearConstraint::Le(LinearExpr::Var(b) + LinearExpr::Var(s),
+                                  LinearExpr::Constant(Rational(kRoomH))));
+  CstObject square = CstObject::FromDnf({a, b, s}, Dnf(inside)).value();
+  for (const Oid& obj : db.Extent("Object_in_Room")) {
+    auto fp = Footprint(&db, obj);
+    if (!fp.ok()) continue;
+    auto mxu = fp->Maximize(LinearExpr::Var(Variable::Intern("u"))).value();
+    auto mnu = fp->Minimize(LinearExpr::Var(Variable::Intern("u"))).value();
+    auto mxv = fp->Maximize(LinearExpr::Var(Variable::Intern("v"))).value();
+    auto mnv = fp->Minimize(LinearExpr::Var(Variable::Intern("v"))).value();
+    // The square avoids the box iff it lies fully on one side of it.
+    Dnf avoid;
+    Conjunction left;
+    left.Add(LinearConstraint::Le(LinearExpr::Var(a) + LinearExpr::Var(s),
+                                  LinearExpr::Constant(mnu.value)));
+    avoid.AddDisjunct(left);
+    Conjunction right;
+    right.Add(LinearConstraint::Ge(LinearExpr::Var(a),
+                                   LinearExpr::Constant(mxu.value)));
+    avoid.AddDisjunct(right);
+    Conjunction below;
+    below.Add(LinearConstraint::Le(LinearExpr::Var(b) + LinearExpr::Var(s),
+                                   LinearExpr::Constant(mnv.value)));
+    avoid.AddDisjunct(below);
+    Conjunction above;
+    above.Add(LinearConstraint::Ge(LinearExpr::Var(b),
+                                   LinearExpr::Constant(mxv.value)));
+    avoid.AddDisjunct(above);
+    CstObject avoid_obj = CstObject::FromDnf({a, b, s}, avoid).value();
+    square = square.Conjoin(avoid_obj).value();
+  }
+  square = square.Canonicalize(CanonicalLevel::kCheap).value();
+  auto best = square.Maximize(LinearExpr::Var(s)).value();
+  if (best.status == LpStatus::kOptimal) {
+    std::cout << "Largest empty square: side " << best.value
+              << " at corner (" << best.point[a] << ", " << best.point[b]
+              << ")\n\n";
+  }
+
+  // 4. A 1-D cut of every object at height v = 3 (the §1.2 projection
+  // query), via LyriC.
+  auto cut = ev.Execute(
+      "SELECT O.inv_number, ((u) | E and D and L and v = 3) "
+      "FROM Object_in_Room O, Office_Object CO "
+      "WHERE O.catalog_object[CO] and O.location[L] and "
+      "CO.extent[E] and CO.translation[D]");
+  if (cut.ok()) {
+    std::cout << "Cut at height v = 3:\n" << cut->ToString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the paper's running example, end to end.
+//
+// Builds the Figure 1 schema and the Figure 2 instance, then runs the
+// worked queries of §4.1 and prints their answers. Start here to see the
+// whole public API surface: Database/Schema, CstObject, and Evaluator.
+
+#include <iostream>
+
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+using namespace lyric;  // NOLINT - example code.
+
+namespace {
+
+void Run(Evaluator* ev, const std::string& title, const std::string& query) {
+  std::cout << "-- " << title << "\n" << query << "\n";
+  auto r = ev->Execute(query);
+  if (!r.ok()) {
+    std::cout << "error: " << r.status() << "\n\n";
+    return;
+  }
+  std::cout << r->ToString() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  if (!ids.ok()) {
+    std::cerr << "failed to build database: " << ids.status() << "\n";
+    return 1;
+  }
+  std::cout << "Loaded the Figure 2 office database: "
+            << db.ObjectCount() << " objects, " << db.CstCount()
+            << " constraint objects interned.\n\n";
+
+  Evaluator ev(&db);
+
+  Run(&ev, "4.1 Q1: drawer extents as logical oids",
+      "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]");
+
+  Run(&ev, "4.1 Q2: catalog extents in room coordinates, center at (6,4)",
+      "SELECT CO, ((u, v) | E and D and x = 6 and y = 4) "
+      "FROM Office_Object CO WHERE CO.extent[E] and CO.translation[D]");
+
+  Run(&ev, "4.1 Q3: the area a drawer can sweep, in room coordinates",
+      "SELECT O, ((u, v) | D(w, z, x, y, u, v) and "
+      "DD(w1, z1, x1, y1, u1, v1) and w = u1 and z = v1 and "
+      "DC(p, q) and DE(w1, z1) and L(x, y)) "
+      "FROM Object_in_Room O, Desk DSK "
+      "WHERE O.location[L] and O.catalog_object[DSK] and "
+      "DSK.translation[D] and DSK.drawer_center[DC] and "
+      "DSK.drawer.translation[DD] and DSK.drawer.extent[DE]");
+
+  Run(&ev, "4.1 Q4: red desks with a centered drawer (none here: p = -2)",
+      "SELECT DSK FROM Desk DSK WHERE DSK.color = 'red' and "
+      "DSK.drawer_center[C] and C(p, q) |= p = 0");
+
+  Run(&ev, "4.1 Q5: desks whose drawer never touches the 20x10 room walls",
+      "SELECT DSK FROM Object_in_Room O, Desk DSK "
+      "WHERE O.catalog_object[DSK] and O.location[L] and "
+      "DSK.translation[D] and DSK.drawer_center[DC] and "
+      "DSK.drawer.extent[DE] and DSK.drawer.translation[DD] and "
+      "((u, v) | D(w, z, x, y, u, v) and DD(w1, z1, x1, y1, u1, v1) and "
+      "w = u1 and z = v1 and DC(p, q) and DE(w1, z1) and L(x, y)) "
+      "|= ((u, v) | 0 < u and u < 20 and 0 < v and v < 10)");
+
+  Run(&ev, "4.2: linear programming inside SELECT",
+      "SELECT DSK.name, MAX(w + z SUBJECT TO ((w, z) | E)), "
+      "MAX_POINT(w + z SUBJECT TO ((w, z) | E)) "
+      "FROM Desk DSK WHERE DSK.extent[E]");
+
+  Run(&ev, "1.2: a cut of the desk at height 3, in room coordinates",
+      "SELECT ((u) | E and D and L and v = 3) "
+      "FROM Object_in_Room O, Office_Object CO "
+      "WHERE O.catalog_object[CO] and O.location[L] and "
+      "CO.extent[E] and CO.translation[D]");
+
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "algebra/combinators.h"
+
+namespace lyric {
+
+namespace {
+
+Status WantList(const AValue& v, const char* who) {
+  if (!v.IsList()) {
+    return Status::TypeError(std::string(who) + ": expected a list, got " +
+                             v.TypeName());
+  }
+  return Status::OK();
+}
+
+Status WantCst(const AValue& v, const char* who) {
+  if (!v.IsCst()) {
+    return Status::TypeError(std::string(who) +
+                             ": expected a CST object, got " + v.TypeName());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AFn Fp::Identity() {
+  return [](const AValue& v) -> Result<AValue> { return v; };
+}
+
+AFn Fp::Constant(AValue v) {
+  return [v](const AValue&) -> Result<AValue> { return v; };
+}
+
+AFn Fp::Compose(AFn f, AFn g) {
+  return [f, g](const AValue& v) -> Result<AValue> {
+    LYRIC_ASSIGN_OR_RETURN(AValue mid, g(v));
+    return f(mid);
+  };
+}
+
+AFn Fp::ApplyToAll(AFn f) {
+  return [f](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "ApplyToAll"));
+    AValue::List out;
+    out.reserve(v.AsList().size());
+    for (const AValue& e : v.AsList()) {
+      LYRIC_ASSIGN_OR_RETURN(AValue r, f(e));
+      out.push_back(std::move(r));
+    }
+    return AValue(std::move(out));
+  };
+}
+
+AFn Fp::Filter(AFn pred) {
+  return [pred](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "Filter"));
+    AValue::List out;
+    for (const AValue& e : v.AsList()) {
+      LYRIC_ASSIGN_OR_RETURN(AValue keep, pred(e));
+      if (!keep.IsBool()) {
+        return Status::TypeError("Filter: predicate returned " +
+                                 std::string(keep.TypeName()));
+      }
+      if (keep.AsBool()) out.push_back(e);
+    }
+    return AValue(std::move(out));
+  };
+}
+
+AFn Fp::Construct(std::vector<AFn> fns) {
+  return [fns](const AValue& v) -> Result<AValue> {
+    AValue::List out;
+    out.reserve(fns.size());
+    for (const AFn& f : fns) {
+      LYRIC_ASSIGN_OR_RETURN(AValue r, f(v));
+      out.push_back(std::move(r));
+    }
+    return AValue(std::move(out));
+  };
+}
+
+AFn Fp::Insert(AFn binop, AValue init) {
+  return [binop, init](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "Insert"));
+    AValue acc = init;
+    const AValue::List& list = v.AsList();
+    for (size_t i = list.size(); i-- > 0;) {
+      LYRIC_ASSIGN_OR_RETURN(acc, binop(AValue(AValue::List{list[i], acc})));
+    }
+    return acc;
+  };
+}
+
+AFn Fp::Select(size_t index) {
+  return [index](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "Select"));
+    if (index >= v.AsList().size()) {
+      return Status::InvalidArgument(
+          "Select: index " + std::to_string(index) + " out of range for " +
+          std::to_string(v.AsList().size()) + " elements");
+    }
+    return v.AsList()[index];
+  };
+}
+
+AFn Fp::Not(AFn pred) {
+  return [pred](const AValue& v) -> Result<AValue> {
+    LYRIC_ASSIGN_OR_RETURN(AValue b, pred(v));
+    if (!b.IsBool()) {
+      return Status::TypeError("Not: operand returned " +
+                               std::string(b.TypeName()));
+    }
+    return AValue(!b.AsBool());
+  };
+}
+
+AFn Fp::CstConjoin(CstObject rhs) {
+  return [rhs](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantCst(v, "CstConjoin"));
+    LYRIC_ASSIGN_OR_RETURN(CstObject out, v.AsCst().Conjoin(rhs));
+    return AValue(std::move(out));
+  };
+}
+
+AFn Fp::CstConjoinPair() {
+  return [](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "CstConjoinPair"));
+    if (v.AsList().size() != 2) {
+      return Status::InvalidArgument("CstConjoinPair: need exactly 2 items");
+    }
+    LYRIC_RETURN_NOT_OK(WantCst(v.AsList()[0], "CstConjoinPair"));
+    LYRIC_RETURN_NOT_OK(WantCst(v.AsList()[1], "CstConjoinPair"));
+    LYRIC_ASSIGN_OR_RETURN(CstObject out,
+                           v.AsList()[0].AsCst().Conjoin(v.AsList()[1].AsCst()));
+    return AValue(std::move(out));
+  };
+}
+
+AFn Fp::CstSatisfiable() {
+  return [](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantCst(v, "CstSatisfiable"));
+    LYRIC_ASSIGN_OR_RETURN(bool sat, v.AsCst().Satisfiable());
+    return AValue(sat);
+  };
+}
+
+AFn Fp::CstEntails(CstObject rhs) {
+  return [rhs](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantCst(v, "CstEntails"));
+    LYRIC_ASSIGN_OR_RETURN(bool holds, v.AsCst().Entails(rhs));
+    return AValue(holds);
+  };
+}
+
+AFn Fp::CstProject(std::vector<VarId> interface_vars) {
+  return [interface_vars](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantCst(v, "CstProject"));
+    LYRIC_ASSIGN_OR_RETURN(CstObject out, v.AsCst().Project(interface_vars));
+    return AValue(std::move(out));
+  };
+}
+
+namespace {
+AFn Optimize(LinearExpr objective, bool maximize) {
+  return [objective, maximize](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantCst(v, "CstMaximize/CstMinimize"));
+    LYRIC_ASSIGN_OR_RETURN(LpSolution sol,
+                           maximize ? v.AsCst().Maximize(objective)
+                                    : v.AsCst().Minimize(objective));
+    if (sol.status != LpStatus::kOptimal) {
+      return Status::InvalidArgument(std::string("optimization is ") +
+                                     LpStatusToString(sol.status));
+    }
+    return AValue(sol.value);
+  };
+}
+}  // namespace
+
+AFn Fp::CstMaximize(LinearExpr objective) {
+  return Optimize(std::move(objective), true);
+}
+
+AFn Fp::CstMinimize(LinearExpr objective) {
+  return Optimize(std::move(objective), false);
+}
+
+AFn Fp::NumAdd() {
+  return [](const AValue& v) -> Result<AValue> {
+    LYRIC_RETURN_NOT_OK(WantList(v, "NumAdd"));
+    if (v.AsList().size() != 2 || !v.AsList()[0].IsNumber() ||
+        !v.AsList()[1].IsNumber()) {
+      return Status::TypeError("NumAdd: need a pair of numbers");
+    }
+    return AValue(v.AsList()[0].AsNumber() + v.AsList()[1].AsNumber());
+  };
+}
+
+AFn Fp::NumCompare(std::string op, Rational bound) {
+  return [op, bound](const AValue& v) -> Result<AValue> {
+    if (!v.IsNumber()) {
+      return Status::TypeError("NumCompare: expected a number, got " +
+                               std::string(v.TypeName()));
+    }
+    int cmp = v.AsNumber().Compare(bound);
+    bool out;
+    if (op == "<") out = cmp < 0;
+    else if (op == "<=") out = cmp <= 0;
+    else if (op == ">") out = cmp > 0;
+    else if (op == ">=") out = cmp >= 0;
+    else if (op == "=") out = cmp == 0;
+    else if (op == "!=") out = cmp != 0;
+    else return Status::InvalidArgument("NumCompare: bad operator '" + op + "'");
+    return AValue(out);
+  };
+}
+
+}  // namespace lyric

@@ -1,0 +1,79 @@
+// Functional forms and constraint primitives of the FP-like algebra (§5).
+//
+// Functional forms (Backus's alpha, filter, insert, composition,
+// construction) capture collection processing; primitive functions
+// manipulate constraint objects (conjunction = intersection, entailment =
+// containment, projection, optimization). A LyriC SELECT-FROM-WHERE
+// block denotes a composition
+//
+//     ApplyToAll(select-part) . Filter(where-part) . scan
+//
+// which is exactly how bench/bench_flat_vs_direct's algebra arm runs the
+// paper queries.
+
+#ifndef LYRIC_ALGEBRA_COMBINATORS_H_
+#define LYRIC_ALGEBRA_COMBINATORS_H_
+
+#include <functional>
+
+#include "algebra/value.h"
+
+namespace lyric {
+
+/// A function of the algebra: AValue -> Result<AValue>.
+using AFn = std::function<Result<AValue>(const AValue&)>;
+
+/// Functional forms and primitives. All combinators return by value;
+/// captured state is shared_ptr-backed inside AValue, so copies are cheap.
+class Fp {
+ public:
+  // --- functional forms ----------------------------------------------------
+
+  /// Identity.
+  static AFn Identity();
+  /// The constant function.
+  static AFn Constant(AValue v);
+  /// Composition: (f . g)(x) = f(g(x)).
+  static AFn Compose(AFn f, AFn g);
+  /// Backus's alpha: applies f to every element of a list.
+  static AFn ApplyToAll(AFn f);
+  /// Keeps the list elements where `pred` returns true.
+  static AFn Filter(AFn pred);
+  /// Construction: [f1, ..., fn](x) = [f1(x), ..., fn(x)].
+  static AFn Construct(std::vector<AFn> fns);
+  /// Right insert (fold): Insert(op, e)([x1,..,xn]) = op([x1, op([x2, ..
+  /// op([xn, e])..]]), where op takes a two-element list.
+  static AFn Insert(AFn binop, AValue init);
+  /// Selects the i-th element (0-based) of a list.
+  static AFn Select(size_t index);
+  /// Logical negation of a boolean-valued function.
+  static AFn Not(AFn pred);
+
+  // --- constraint primitives -----------------------------------------------
+
+  /// x (cst) -> x intersected with `rhs` (conjunction, §1.1).
+  static AFn CstConjoin(CstObject rhs);
+  /// [a, b] (two-element list of cst) -> a intersected with b.
+  static AFn CstConjoinPair();
+  /// x (cst) -> bool: is the point set nonempty?
+  static AFn CstSatisfiable();
+  /// x (cst) -> bool: x contained in `rhs` (containment = implication).
+  static AFn CstEntails(CstObject rhs);
+  /// x (cst) -> its projection onto `interface_vars`.
+  static AFn CstProject(std::vector<VarId> interface_vars);
+  /// x (cst) -> the maximum of `objective` over x (error if infeasible or
+  /// unbounded).
+  static AFn CstMaximize(LinearExpr objective);
+  static AFn CstMinimize(LinearExpr objective);
+
+  // --- scalar primitives -----------------------------------------------------
+
+  /// [a, b] (numbers) -> a + b.
+  static AFn NumAdd();
+  /// x (number) -> x `op` bound, for op in {"<", "<=", ">", ">=", "=", "!="}.
+  static AFn NumCompare(std::string op, Rational bound);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_ALGEBRA_COMBINATORS_H_

@@ -1,0 +1,29 @@
+#include "algebra/value.h"
+
+namespace lyric {
+
+const char* AValue::TypeName() const {
+  if (IsBool()) return "bool";
+  if (IsNumber()) return "number";
+  if (IsString()) return "string";
+  if (IsOid()) return "oid";
+  if (IsCst()) return "cst";
+  return "list";
+}
+
+std::string AValue::ToString() const {
+  if (IsBool()) return AsBool() ? "true" : "false";
+  if (IsNumber()) return AsNumber().ToString();
+  if (IsString()) return "'" + AsString() + "'";
+  if (IsOid()) return AsOid().ToString();
+  if (IsCst()) return AsCst().ToString();
+  std::string out = "[";
+  const List& list = AsList();
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += list[i].ToString();
+  }
+  return out + "]";
+}
+
+}  // namespace lyric

@@ -1,0 +1,76 @@
+// Values of the FP-like constraint algebra.
+//
+// §5 sketches the authors' planned implementation: "a constraint algebra
+// in which higher-order operators manipulate collections of objects (e.g.
+// sets, lists) some of whose elements may be constraints. Thus, the
+// algebra is an FP-like language [Bac78] in which functional forms
+// capture common data collections processing abstractions ... and
+// primitive functions manipulate objects of different types such as
+// intersecting constraints." This module realizes that sketch: a small
+// dynamically-typed value universe (scalars, CST objects, lists) that the
+// combinators in combinators.h operate on.
+
+#ifndef LYRIC_ALGEBRA_VALUE_H_
+#define LYRIC_ALGEBRA_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "constraint/cst_object.h"
+#include "object/oid.h"
+
+namespace lyric {
+
+/// A value of the constraint algebra: a boolean, an exact number, a
+/// string, an oid, a CST object, or a list of values.
+class AValue {
+ public:
+  using List = std::vector<AValue>;
+
+  AValue() : rep_(false) {}
+  AValue(bool b) : rep_(b) {}                           // NOLINT
+  AValue(Rational r) : rep_(std::move(r)) {}            // NOLINT
+  AValue(std::string s) : rep_(std::move(s)) {}         // NOLINT
+  AValue(const char* s) : rep_(std::string(s)) {}       // NOLINT
+  AValue(Oid oid) : rep_(std::move(oid)) {}             // NOLINT
+  AValue(CstObject obj)                                 // NOLINT
+      : rep_(std::make_shared<CstObject>(std::move(obj))) {}
+  AValue(List list)                                     // NOLINT
+      : rep_(std::make_shared<List>(std::move(list))) {}
+
+  bool IsBool() const { return std::holds_alternative<bool>(rep_); }
+  bool IsNumber() const { return std::holds_alternative<Rational>(rep_); }
+  bool IsString() const { return std::holds_alternative<std::string>(rep_); }
+  bool IsOid() const { return std::holds_alternative<Oid>(rep_); }
+  bool IsCst() const {
+    return std::holds_alternative<std::shared_ptr<CstObject>>(rep_);
+  }
+  bool IsList() const {
+    return std::holds_alternative<std::shared_ptr<List>>(rep_);
+  }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const Rational& AsNumber() const { return std::get<Rational>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Oid& AsOid() const { return std::get<Oid>(rep_); }
+  const CstObject& AsCst() const {
+    return *std::get<std::shared_ptr<CstObject>>(rep_);
+  }
+  const List& AsList() const { return *std::get<std::shared_ptr<List>>(rep_); }
+
+  /// Human-readable type name ("bool", "number", "cst", "list", ...).
+  const char* TypeName() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<bool, Rational, std::string, Oid, std::shared_ptr<CstObject>,
+               std::shared_ptr<List>>
+      rep_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_ALGEBRA_VALUE_H_

@@ -1,0 +1,57 @@
+// Canonical forms for constraints (§3.1 of the paper, following the
+// conventions of [BJM93] for linear constraint databases).
+//
+// The paper commits to exactly two simplifications of disjunctions —
+// deletion of inconsistent disjuncts and deletion of syntactic duplicates
+// — because full redundant-disjunct detection is co-NP-complete. Within a
+// single conjunct it additionally allows the classic conjunctive canonical
+// form: solving equalities (Gaussian substitution), dropping trivially
+// true atoms, and optionally removing LP-redundant inequalities.
+//
+// Canonical forms are orthogonal to the language semantics: two distinct
+// canonical forms may still denote the same point set (the paper accepts
+// this for CST-object oid comparison); bench/bench_canonical measures the
+// cost of each level.
+
+#ifndef LYRIC_CONSTRAINT_CANONICAL_H_
+#define LYRIC_CONSTRAINT_CANONICAL_H_
+
+#include "constraint/dnf.h"
+
+namespace lyric {
+
+/// How much work to spend canonicalizing.
+enum class CanonicalLevel {
+  /// Sort + syntactic dedupe + constant folding only (no LP calls).
+  kSyntactic,
+  /// + Gaussian equality solving, inconsistent-disjunct deletion (one
+  /// simplex feasibility call per disjunct). The paper's default.
+  kCheap,
+  /// + LP-based removal of redundant atoms within each conjunct
+  /// (quadratically many simplex calls; [BJM93] conjunctive form).
+  kRedundancy,
+};
+
+const char* CanonicalLevelToString(CanonicalLevel level);
+
+/// Canonicalization entry points.
+class Canonical {
+ public:
+  /// Canonicalizes a single conjunction. At kCheap and above, an
+  /// unsatisfiable conjunction collapses to Conjunction::False().
+  static Result<Conjunction> Simplify(const Conjunction& c,
+                                      CanonicalLevel level);
+
+  /// Canonicalizes a DNF: per-conjunct Simplify, deletion of inconsistent
+  /// disjuncts (kCheap+), sorting, and syntactic duplicate deletion.
+  static Result<Dnf> Simplify(const Dnf& d, CanonicalLevel level);
+
+  /// Gaussian step only: uses each equality to substitute out one pivot
+  /// variable from every other atom, keeping the equality in solved form.
+  /// Exposed for the ablation bench.
+  static Conjunction SolveEqualities(const Conjunction& c);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_CONSTRAINT_CANONICAL_H_

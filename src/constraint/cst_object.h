@@ -1,0 +1,130 @@
+// CST objects: constraints as first-class values (§3.2).
+//
+// A CST object is a (possibly infinite) collection of points in
+// n-dimensional space, represented by a constraint formula over an ordered
+// *interface* of n dimension variables. In the data model a CST object is
+// a logical oid whose identity is the canonical form of its constraint;
+// CstObject::CanonicalString provides that identity (invariant under
+// renaming of the interface, as the paper requires of CST expressions).
+
+#ifndef LYRIC_CONSTRAINT_CST_OBJECT_H_
+#define LYRIC_CONSTRAINT_CST_OBJECT_H_
+
+#include <ostream>
+
+#include "constraint/canonical.h"
+#include "constraint/existential.h"
+#include "constraint/family.h"
+#include "constraint/simplex.h"
+
+namespace lyric {
+
+/// A first-class constraint object with an ordered variable interface.
+class CstObject {
+ public:
+  /// Constructs the 0-dimensional TRUE object.
+  CstObject();
+
+  /// Builds a conjunctive CST object. Fails if `interface_vars` repeats a
+  /// variable or the body constrains variables outside the interface.
+  static Result<CstObject> FromConjunction(std::vector<VarId> interface_vars,
+                                           Conjunction body);
+  /// Builds a disjunctive CST object.
+  static Result<CstObject> FromDnf(std::vector<VarId> interface_vars,
+                                   Dnf body);
+  /// Builds from a disjunctive existential body; the family is inferred
+  /// structurally (1 disjunct / no quantifier => smaller families).
+  static Result<CstObject> Make(std::vector<VarId> interface_vars,
+                                DisjunctiveExistential body);
+
+  /// Dimension (interface arity).
+  size_t Dimension() const { return interface_.size(); }
+  const std::vector<VarId>& Interface() const { return interface_; }
+  const DisjunctiveExistential& Body() const { return body_; }
+  ConstraintFamily Family() const { return family_; }
+
+  /// Renames the interface positionally to `new_interface` (the paper's
+  /// predicate invocation O(x1,...,xn)). Capture-free; fails on arity
+  /// mismatch or repeated target variables.
+  Result<CstObject> RenameTo(const std::vector<VarId>& new_interface) const;
+
+  /// Conjunction of the point sets; interfaces merge by variable name
+  /// (shared names identify — the basis of the schema-derived implicit
+  /// equalities). Resulting interface: this interface followed by the new
+  /// variables of `o`. Family: join (conjunctive x disjunctive stays
+  /// within the lattice).
+  Result<CstObject> Conjoin(const CstObject& o) const;
+  /// Disjunction of the point sets (same merge rule).
+  Result<CstObject> Disjoin(const CstObject& o) const;
+  /// Complement of a conjunctive object (yields disjunctive); fails for
+  /// other families (the paper only negates conjunctive constraints).
+  Result<CstObject> Negate() const;
+
+  /// Projection onto `new_interface` (§3.1 projection connector; the new
+  /// interface may introduce fresh unconstrained dimensions). For
+  /// conjunctive and disjunctive objects a *restricted* projection
+  /// (eliminating at most one variable, or keeping at most one) is
+  /// performed eagerly and stays in the family; any other projection
+  /// escalates into the corresponding existential family by marking the
+  /// dropped variables bound (constant time).
+  Result<CstObject> Project(const std::vector<VarId>& new_interface) const;
+
+  /// Like Project but forces eager quantifier elimination regardless of
+  /// cost (used by benches to reproduce the §3.1 blowup argument).
+  Result<CstObject> ProjectEager(
+      const std::vector<VarId>& new_interface) const;
+
+  /// Emptiness / membership / implication.
+  Result<bool> Satisfiable() const { return body_.Satisfiable(); }
+  /// Point membership; `point` is positional over the interface.
+  Result<bool> Contains(const std::vector<Rational>& point) const;
+  /// this |= o, positionally (o is renamed to this interface first).
+  Result<bool> Entails(const CstObject& o) const;
+  /// Geometric equivalence (mutual entailment).
+  Result<bool> EquivalentTo(const CstObject& o) const;
+
+  /// Linear optimization over the point set (sup/inf over the closure;
+  /// LpSolution::attained distinguishes max from sup).
+  Result<LpSolution> Maximize(const LinearExpr& objective) const;
+  Result<LpSolution> Minimize(const LinearExpr& objective) const;
+
+  /// One dimension of a bounding box; absent bounds mean unbounded.
+  struct Interval {
+    std::optional<Rational> lower;
+    bool lower_closed = false;
+    std::optional<Rational> upper;
+    bool upper_closed = false;
+  };
+  /// The exact per-dimension bounding intervals (2 LPs per dimension).
+  /// Fails if the object is empty.
+  Result<std::vector<Interval>> BoundingBox() const;
+
+  /// Canonicalizes the body in place (per-disjunct simplification,
+  /// inconsistent-disjunct deletion, syntactic dedupe).
+  Result<CstObject> Canonicalize(CanonicalLevel level) const;
+
+  /// The identity string of the CST oid: body canonicalized at kCheap,
+  /// interface renamed positionally, bound variables renamed by first
+  /// occurrence — equal strings mean equal objects up to the (incomplete,
+  /// as §3.1 accepts) canonical form.
+  Result<std::string> CanonicalString() const;
+
+  /// Human-readable "((x, y) | x + y <= 3)".
+  std::string ToString() const;
+
+ private:
+  Status CheckBodyVars() const;
+  static ConstraintFamily InferFamily(const DisjunctiveExistential& body);
+
+  std::vector<VarId> interface_;
+  DisjunctiveExistential body_;
+  ConstraintFamily family_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CstObject& o) {
+  return os << o.ToString();
+}
+
+}  // namespace lyric
+
+#endif  // LYRIC_CONSTRAINT_CST_OBJECT_H_

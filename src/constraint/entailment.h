@@ -1,0 +1,49 @@
+// The |= predicate of LyriC (§4.2): logical implication between
+// disjunctive constraint formulas.
+//
+//   ((x1..xn) | phi) |= ((y1..ym) | psi)
+//
+// holds iff for every real instantiation of all the variables, phi implies
+// psi. We decide it by refutation: phi |= psi iff phi and not(psi) is
+// unsatisfiable. not(psi) is a CNF of negated-atom literals; a DPLL-style
+// case split with simplex feasibility pruning explores it. Exponential in
+// the number of disjuncts of psi in the worst case (the problem is co-NP
+// hard for disjunctive constraints, which is exactly why the paper's
+// canonical forms avoid full redundancy detection), but the pruning makes
+// typical spatial queries cheap.
+
+#ifndef LYRIC_CONSTRAINT_ENTAILMENT_H_
+#define LYRIC_CONSTRAINT_ENTAILMENT_H_
+
+#include "constraint/dnf.h"
+
+namespace lyric {
+
+/// Implication and equivalence tests over disjunctive constraints.
+class Entailment {
+ public:
+  /// Does every point of `lhs` satisfy `rhs`?
+  static Result<bool> Entails(const Dnf& lhs, const Dnf& rhs);
+
+  /// Conjunction-vs-DNF case (the inner loop of Entails).
+  static Result<bool> ConjunctionEntails(const Conjunction& lhs,
+                                         const Dnf& rhs);
+
+  /// Mutual entailment.
+  static Result<bool> Equivalent(const Dnf& a, const Dnf& b);
+
+  /// The paper's spatial predicates, expressed through entailment and
+  /// conjunction (§1.1: "containment is expressed by implication,
+  /// intersection by conjunction").
+  static Result<bool> Contains(const Dnf& outer, const Dnf& inner) {
+    return Entails(inner, outer);
+  }
+  static Result<bool> Overlaps(const Dnf& a, const Dnf& b) {
+    return a.And(b).Satisfiable();
+  }
+  static Result<bool> Disjoint(const Dnf& a, const Dnf& b);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_CONSTRAINT_ENTAILMENT_H_

@@ -1,0 +1,31 @@
+#include "constraint/family.h"
+
+namespace lyric {
+
+const char* ConstraintFamilyToString(ConstraintFamily f) {
+  switch (f) {
+    case ConstraintFamily::kConjunctive:
+      return "conjunctive";
+    case ConstraintFamily::kExistentialConjunctive:
+      return "existential-conjunctive";
+    case ConstraintFamily::kDisjunctive:
+      return "disjunctive";
+    case ConstraintFamily::kDisjunctiveExistential:
+      return "disjunctive-existential";
+  }
+  return "?";
+}
+
+ConstraintFamily FamilyJoin(ConstraintFamily a, ConstraintFamily b) {
+  if (a == b) return a;
+  if (a == ConstraintFamily::kConjunctive) return b;
+  if (b == ConstraintFamily::kConjunctive) return a;
+  // Distinct non-conjunctive families join at the top.
+  return ConstraintFamily::kDisjunctiveExistential;
+}
+
+bool FamilyIncluded(ConstraintFamily sub, ConstraintFamily super) {
+  return FamilyJoin(sub, super) == super;
+}
+
+}  // namespace lyric

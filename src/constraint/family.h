@@ -1,0 +1,53 @@
+// The four interrelated constraint families of §3.1.
+//
+// Engineered inclusion lattice (paper: "existential conjunctive and
+// disjunctive constraints each include conjunctive constraints;
+// disjunctive existential constraints include all the others"):
+//
+//         disjunctive existential
+//           /                  |
+//    disjunctive        existential conjunctive
+//           |                  /
+//             conjunctive
+//
+// The family of a CST object determines which operations keep its
+// representation polynomial: conjunctive/disjunctive permit only
+// *restricted* projection (performed eagerly), while the existential
+// families absorb any projection by marking variables bound.
+
+#ifndef LYRIC_CONSTRAINT_FAMILY_H_
+#define LYRIC_CONSTRAINT_FAMILY_H_
+
+namespace lyric {
+
+/// The constraint family of a CST object.
+enum class ConstraintFamily {
+  kConjunctive,
+  kExistentialConjunctive,
+  kDisjunctive,
+  kDisjunctiveExistential,
+};
+
+const char* ConstraintFamilyToString(ConstraintFamily f);
+
+/// Least upper bound in the inclusion lattice.
+ConstraintFamily FamilyJoin(ConstraintFamily a, ConstraintFamily b);
+
+/// Whether `sub` is included in `super` in the lattice.
+bool FamilyIncluded(ConstraintFamily sub, ConstraintFamily super);
+
+/// Whether the family carries existential quantifiers.
+inline bool FamilyHasExistentials(ConstraintFamily f) {
+  return f == ConstraintFamily::kExistentialConjunctive ||
+         f == ConstraintFamily::kDisjunctiveExistential;
+}
+
+/// Whether the family permits more than one disjunct.
+inline bool FamilyHasDisjunction(ConstraintFamily f) {
+  return f == ConstraintFamily::kDisjunctive ||
+         f == ConstraintFamily::kDisjunctiveExistential;
+}
+
+}  // namespace lyric
+
+#endif  // LYRIC_CONSTRAINT_FAMILY_H_

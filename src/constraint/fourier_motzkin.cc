@@ -1,0 +1,182 @@
+#include "constraint/fourier_motzkin.h"
+
+#include <algorithm>
+
+#include "constraint/simplex.h"
+
+namespace lyric {
+
+namespace {
+
+// One raw Fourier-Motzkin step; the caller has verified no disequality
+// mentions `var`.
+Conjunction EliminateStep(const Conjunction& c, VarId var) {
+  // Prefer substitution through an equality mentioning the variable: it is
+  // exact, linear-size, and preserves strictness of the other atoms.
+  for (size_t i = 0; i < c.atoms().size(); ++i) {
+    const LinearConstraint& atom = c.atoms()[i];
+    if (!atom.IsEquality()) continue;
+    Rational a = atom.lhs().Coeff(var);
+    if (a.IsZero()) continue;
+    // a*var + rest = 0  =>  var = -rest / a.
+    LinearExpr rest = atom.lhs();
+    rest.AddTerm(var, -a);
+    LinearExpr replacement = (-rest).Scale(a.Inverse());
+    Conjunction out;
+    for (size_t j = 0; j < c.atoms().size(); ++j) {
+      if (j == i) continue;
+      out.Add(c.atoms()[j].Substitute(var, replacement));
+    }
+    return out;
+  }
+  // Inequality combination. Normalize each atom mentioning var to
+  //   var <= bound   (uppers)  or  var >= bound  (lowers),
+  // then pair them up.
+  std::vector<std::pair<LinearExpr, bool>> uppers;  // (bound expr, strict)
+  std::vector<std::pair<LinearExpr, bool>> lowers;
+  Conjunction out;
+  for (const LinearConstraint& atom : c.atoms()) {
+    Rational a = atom.lhs().Coeff(var);
+    if (a.IsZero()) {
+      out.Add(atom);
+      continue;
+    }
+    // a*var + rest (<|<=) 0.
+    LinearExpr rest = atom.lhs();
+    rest.AddTerm(var, -a);
+    LinearExpr bound = (-rest).Scale(a.Inverse());
+    if (a.Sign() > 0) {
+      uppers.emplace_back(std::move(bound), atom.IsStrict());
+    } else {
+      lowers.emplace_back(std::move(bound), atom.IsStrict());
+    }
+  }
+  for (const auto& [lo, lo_strict] : lowers) {
+    for (const auto& [up, up_strict] : uppers) {
+      // lo (<|<=) var (<|<=) up  =>  lo - up (<|<=) 0.
+      out.Add(LinearConstraint(lo - up, (lo_strict || up_strict)
+                                            ? RelOp::kLt
+                                            : RelOp::kLe));
+    }
+  }
+  return out;
+}
+
+Status CheckNoDisequalityOn(const Conjunction& c, const VarSet& eliminated) {
+  for (const LinearConstraint& atom : c.atoms()) {
+    if (!atom.IsDisequality()) continue;
+    for (const auto& [v, coeff] : atom.lhs().terms()) {
+      (void)coeff;
+      if (eliminated.count(v)) {
+        return Status::InvalidArgument(
+            "cannot eliminate variable '" + Variable::Name(v) +
+            "' occurring in disequality " + atom.ToString() +
+            "; split disequalities first");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+VarSet FourierMotzkin::VarsToEliminate(const Conjunction& c,
+                                       const VarSet& keep) {
+  VarSet out;
+  for (VarId v : c.FreeVars()) {
+    if (!keep.count(v)) out.insert(v);
+  }
+  return out;
+}
+
+Result<Conjunction> FourierMotzkin::EliminateVariable(const Conjunction& c,
+                                                      VarId var) {
+  LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarSet{var}));
+  Conjunction out = EliminateStep(c, var);
+  out.SortAndDedupe();
+  return out;
+}
+
+Result<Conjunction> FourierMotzkin::ProjectOntoAtMostOne(
+    const Conjunction& c, std::optional<VarId> keep) {
+  VarSet keep_set;
+  if (keep.has_value()) keep_set.insert(*keep);
+  LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarsToEliminate(c, keep_set)));
+
+  LYRIC_ASSIGN_OR_RETURN(bool sat, Simplex::IsSatisfiable(c));
+  if (!sat) return Conjunction::False();
+  if (!keep.has_value()) return Conjunction();  // TRUE
+
+  VarId x = *keep;
+  VarSet free = c.FreeVars();
+  if (!free.count(x)) return Conjunction();  // x unconstrained by c.
+
+  Conjunction out;
+  LinearExpr obj = LinearExpr::Var(x);
+  LYRIC_ASSIGN_OR_RETURN(LpSolution mx, Simplex::Maximize(obj, c));
+  LYRIC_ASSIGN_OR_RETURN(LpSolution mn, Simplex::Minimize(obj, c));
+  if (mx.status == LpStatus::kOptimal) {
+    LinearExpr e = obj - LinearExpr::Constant(mx.value);
+    out.Add(LinearConstraint(e, mx.attained ? RelOp::kLe : RelOp::kLt));
+  }
+  if (mn.status == LpStatus::kOptimal) {
+    LinearExpr e = LinearExpr::Constant(mn.value) - obj;
+    out.Add(LinearConstraint(e, mn.attained ? RelOp::kLe : RelOp::kLt));
+  }
+  // Degenerate interval [v, v] prints better as an equality.
+  if (mx.status == LpStatus::kOptimal && mn.status == LpStatus::kOptimal &&
+      mx.value == mn.value && mx.attained && mn.attained) {
+    Conjunction eq;
+    eq.Add(LinearConstraint(obj - LinearExpr::Constant(mx.value), RelOp::kEq));
+    out = eq;
+  }
+  // Disequalities over x alone survive projection verbatim.
+  for (const LinearConstraint& atom : c.atoms()) {
+    if (atom.IsDisequality()) out.Add(atom);
+  }
+  out.SortAndDedupe();
+  return out;
+}
+
+Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
+                                                const VarSet& keep) {
+  VarSet elim = VarsToEliminate(c, keep);
+  LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, elim));
+  Conjunction cur = c;
+  while (!elim.empty()) {
+    // Re-derive which of the remaining targets still occur.
+    VarSet free = cur.FreeVars();
+    VarId best = *elim.begin();
+    bool found = false;
+    long best_cost = 0;
+    for (VarId v : elim) {
+      if (!free.count(v)) continue;
+      // Cost heuristic: equalities are free; otherwise lowers * uppers.
+      long lowers = 0, uppers = 0;
+      bool has_eq = false;
+      for (const LinearConstraint& atom : cur.atoms()) {
+        Rational a = atom.lhs().Coeff(v);
+        if (a.IsZero()) continue;
+        if (atom.IsEquality()) {
+          has_eq = true;
+          break;
+        }
+        (a.Sign() > 0 ? uppers : lowers)++;
+      }
+      long cost = has_eq ? -1 : lowers * uppers - (lowers + uppers);
+      if (!found || cost < best_cost) {
+        best = v;
+        best_cost = cost;
+        found = true;
+      }
+    }
+    if (!found) break;  // Remaining targets are absent already.
+    cur = EliminateStep(cur, best);
+    cur.SortAndDedupe();
+    elim.erase(best);
+    if (cur.HasConstantFalse()) return Conjunction::False();
+  }
+  return cur;
+}
+
+}  // namespace lyric

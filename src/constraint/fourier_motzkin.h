@@ -1,0 +1,60 @@
+// Quantifier elimination for conjunctions of linear constraints.
+//
+// The paper's conjunctive and disjunctive families (§3.1) only permit
+// *restricted* projection — eliminating one variable, or keeping at most
+// one — precisely because those two cases are polynomial:
+//
+//   * eliminating ONE variable is a single Fourier-Motzkin step: solve an
+//     equality when one mentions the variable, otherwise combine each
+//     lower bound with each upper bound (quadratic output);
+//   * keeping AT MOST ONE variable reduces to linear programming: the
+//     projection of a convex set onto a line is an interval, so two LP
+//     calls (min and max of the kept variable) plus attainment checks
+//     recover it exactly — no iterated elimination, no blowup.
+//
+// General projection (ProjectOnto with several kept and several eliminated
+// variables) is provided for the existential families' ToDnf conversion
+// and is exponential in the worst case; bench/bench_projection measures
+// the difference, reproducing the paper's §3.1 argument.
+//
+// Disequalities must not mention an eliminated variable (the projection of
+// a punctured polyhedron is not conjunctive); the DNF layer splits t != 0
+// into t < 0 or t > 0 first.
+
+#ifndef LYRIC_CONSTRAINT_FOURIER_MOTZKIN_H_
+#define LYRIC_CONSTRAINT_FOURIER_MOTZKIN_H_
+
+#include <optional>
+
+#include "constraint/conjunction.h"
+
+namespace lyric {
+
+/// Quantifier-elimination entry points over conjunctions.
+class FourierMotzkin {
+ public:
+  /// Eliminates exactly one variable (one restricted-projection step).
+  /// Fails with InvalidArgument if a disequality mentions `var`.
+  static Result<Conjunction> EliminateVariable(const Conjunction& c,
+                                               VarId var);
+
+  /// Projects onto at most one variable using LP intervals (the paper's
+  /// other restricted-projection case; polynomial). `keep == nullopt`
+  /// projects onto zero variables: TRUE iff satisfiable. Disequalities
+  /// mentioning an eliminated variable are rejected.
+  static Result<Conjunction> ProjectOntoAtMostOne(const Conjunction& c,
+                                                  std::optional<VarId> keep);
+
+  /// Projects onto an arbitrary variable set by iterated elimination
+  /// (min lower*upper product heuristic; exponential worst case). Cheap
+  /// per-step simplification keeps intermediate systems small.
+  static Result<Conjunction> ProjectOnto(const Conjunction& c,
+                                         const VarSet& keep);
+
+  /// The variables of `c` NOT in `keep` (helper shared with the DNF layer).
+  static VarSet VarsToEliminate(const Conjunction& c, const VarSet& keep);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_CONSTRAINT_FOURIER_MOTZKIN_H_

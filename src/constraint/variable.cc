@@ -1,0 +1,63 @@
+#include "constraint/variable.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace lyric {
+
+namespace {
+
+struct Interner {
+  std::unordered_map<std::string, VarId> ids;
+  std::vector<std::string> names;
+  uint64_t fresh_counter = 0;
+};
+
+Interner& GetInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace
+
+VarId Variable::Intern(const std::string& name) {
+  Interner& in = GetInterner();
+  auto it = in.ids.find(name);
+  if (it != in.ids.end()) return it->second;
+  VarId id = static_cast<VarId>(in.names.size());
+  in.names.push_back(name);
+  in.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& Variable::Name(VarId id) {
+  Interner& in = GetInterner();
+  assert(id < in.names.size());
+  return in.names[id];
+}
+
+VarId Variable::Fresh(const std::string& hint) {
+  Interner& in = GetInterner();
+  for (;;) {
+    std::string candidate = hint + "$" + std::to_string(in.fresh_counter++);
+    if (in.ids.find(candidate) == in.ids.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+size_t Variable::Count() { return GetInterner().names.size(); }
+
+std::string VarSetToString(const VarSet& vars) {
+  std::string out = "{";
+  bool first = true;
+  for (VarId v : vars) {
+    if (!first) out += ", ";
+    first = false;
+    out += Variable::Name(v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lyric

@@ -1,0 +1,193 @@
+#include "geometry/polytope2.h"
+
+#include <algorithm>
+
+#include "constraint/simplex.h"
+
+namespace lyric {
+
+namespace {
+
+// A line a*x + b*y + c relop 0 extracted from an atom.
+struct Line {
+  Rational a, b, c;
+};
+
+Result<std::vector<Line>> ExtractLines(const Conjunction& c, VarId x,
+                                       VarId y) {
+  std::vector<Line> out;
+  for (const LinearConstraint& atom : c.atoms()) {
+    if (atom.IsDisequality()) {
+      return Status::InvalidArgument(
+          "Polytope2: disequalities are not polytopes (" + atom.ToString() +
+          ")");
+    }
+    Line line;
+    line.c = atom.lhs().constant();
+    for (const auto& [var, coeff] : atom.lhs().terms()) {
+      if (var == x) {
+        line.a = coeff;
+      } else if (var == y) {
+        line.b = coeff;
+      } else {
+        return Status::InvalidArgument(
+            "Polytope2: constraint mentions a third variable '" +
+            Variable::Name(var) + "'");
+      }
+    }
+    out.push_back(std::move(line));
+    // An equality is both <= and >=; represent as two lines so vertex
+    // pairing sees both sides.
+    if (atom.IsEquality()) {
+      out.push_back(Line{-line.a, -line.b, -line.c});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Polytope2::Orientation(const Point2& a, const Point2& b,
+                           const Point2& c) {
+  Rational cross =
+      (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  return cross.Sign();
+}
+
+Result<std::vector<Point2>> Polytope2::Vertices(const Conjunction& c, VarId x,
+                                                VarId y) {
+  // Work on the closure.
+  Conjunction closed;
+  for (const LinearConstraint& atom : c.atoms()) {
+    if (atom.IsDisequality()) {
+      return Status::InvalidArgument("Polytope2: disequality atom");
+    }
+    closed.Add(atom.Closure());
+  }
+  LYRIC_ASSIGN_OR_RETURN(bool sat, Simplex::IsSatisfiable(closed));
+  if (!sat) return std::vector<Point2>{};
+  // Boundedness check via LP.
+  for (VarId v : {x, y}) {
+    LYRIC_ASSIGN_OR_RETURN(LpSolution mx,
+                           Simplex::Maximize(LinearExpr::Var(v), closed));
+    LYRIC_ASSIGN_OR_RETURN(LpSolution mn,
+                           Simplex::Minimize(LinearExpr::Var(v), closed));
+    if (mx.status == LpStatus::kUnbounded ||
+        mn.status == LpStatus::kUnbounded) {
+      return Status::InvalidArgument("Polytope2: region is unbounded");
+    }
+  }
+  LYRIC_ASSIGN_OR_RETURN(std::vector<Line> lines, ExtractLines(closed, x, y));
+  // Candidate vertices: pairwise line intersections that satisfy all
+  // constraints.
+  std::vector<Point2> verts;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    for (size_t j = i + 1; j < lines.size(); ++j) {
+      const Line& p = lines[i];
+      const Line& q = lines[j];
+      Rational det = p.a * q.b - q.a * p.b;
+      if (det.IsZero()) continue;  // Parallel.
+      // Solve p.a*x + p.b*y = -p.c ; q.a*x + q.b*y = -q.c.
+      Rational vx = ((-p.c) * q.b - (-q.c) * p.b) / det;
+      Rational vy = (p.a * (-q.c) - q.a * (-p.c)) / det;
+      Assignment pt{{x, vx}, {y, vy}};
+      LYRIC_ASSIGN_OR_RETURN(bool inside, closed.Eval(pt));
+      if (inside) verts.push_back(Point2{vx, vy});
+    }
+  }
+  // A single point or segment can also come from equalities; if no pair
+  // intersects (e.g. only two parallel boundaries active), fall back to
+  // LP corners. Vertices may be empty for full-plane conjunctions — but
+  // boundedness was checked, so emptiness means a lower-dimensional set;
+  // grab one witness point.
+  if (verts.empty()) {
+    LYRIC_ASSIGN_OR_RETURN(std::optional<Assignment> w,
+                           Simplex::FindPoint(closed));
+    if (w.has_value()) {
+      verts.push_back(Point2{w->at(x), w->at(y)});
+    }
+    return verts;
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  if (verts.size() <= 2) return verts;
+  // Order counter-clockwise around the centroid via exact convex-hull
+  // (gift wrapping is fine at these sizes and stays exact).
+  std::vector<Point2> hull;
+  // Start from the lexicographically smallest point.
+  Point2 start = verts[0];
+  Point2 cur = start;
+  do {
+    hull.push_back(cur);
+    Point2 next = verts[0] == cur && verts.size() > 1 ? verts[1] : verts[0];
+    for (const Point2& cand : verts) {
+      if (cand == cur) continue;
+      if (next == cur) {
+        next = cand;
+        continue;
+      }
+      int o = Orientation(cur, next, cand);
+      if (o < 0) {
+        next = cand;
+      } else if (o == 0) {
+        // Collinear: take the farther one.
+        Rational d_next = (next.x - cur.x) * (next.x - cur.x) +
+                          (next.y - cur.y) * (next.y - cur.y);
+        Rational d_cand = (cand.x - cur.x) * (cand.x - cur.x) +
+                          (cand.y - cur.y) * (cand.y - cur.y);
+        if (d_cand > d_next) next = cand;
+      }
+    }
+    cur = next;
+    if (hull.size() > verts.size() + 1) {
+      return Status::Internal("Polytope2: hull walk failed to close");
+    }
+  } while (!(cur == start));
+  return hull;
+}
+
+Rational Polytope2::SignedArea(const std::vector<Point2>& pts) {
+  Rational twice;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const Point2& a = pts[i];
+    const Point2& b = pts[(i + 1) % pts.size()];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice * Rational(1, 2);
+}
+
+Result<Rational> Polytope2::Area(const Conjunction& c, VarId x, VarId y) {
+  LYRIC_ASSIGN_OR_RETURN(std::vector<Point2> verts, Vertices(c, x, y));
+  if (verts.size() < 3) return Rational(0);
+  Rational area = SignedArea(verts);
+  return area.IsNegative() ? -area : area;
+}
+
+Result<Conjunction> Polytope2::FromPolygon(const std::vector<Point2>& pts,
+                                           VarId x, VarId y) {
+  if (pts.size() < 3) {
+    return Status::InvalidArgument("FromPolygon: need at least 3 points");
+  }
+  std::vector<Point2> poly = pts;
+  if (SignedArea(poly).Sign() == 0) {
+    return Status::InvalidArgument("FromPolygon: degenerate polygon");
+  }
+  if (SignedArea(poly).IsNegative()) {
+    std::reverse(poly.begin(), poly.end());
+  }
+  Conjunction out;
+  for (size_t i = 0; i < poly.size(); ++i) {
+    const Point2& a = poly[i];
+    const Point2& b = poly[(i + 1) % poly.size()];
+    // Inward halfplane for CCW edge a->b:
+    //   (b.x-a.x)(Y-a.y) - (b.y-a.y)(X-a.x) >= 0.
+    LinearExpr e;
+    e.AddTerm(y, b.x - a.x);
+    e.AddTerm(x, -(b.y - a.y));
+    e.AddConstant(-(b.x - a.x) * a.y + (b.y - a.y) * a.x);
+    out.Add(LinearConstraint(-e, RelOp::kLe));  // e >= 0.
+  }
+  return out;
+}
+
+}  // namespace lyric

@@ -1,0 +1,60 @@
+// Exact 2-D polytope utilities over conjunctions.
+//
+// The paper positions linear-constraint technology against "ad hoc methods
+// working on direct representations" and promises that "for low-dimensional
+// space, the best known data structures and algorithms will be used". This
+// module is that low-dimensional companion: exact vertex enumeration, area,
+// and polygon <-> halfplane conversion for two-dimensional CST objects. It
+// also gives the test suite an independent oracle for Fourier-Motzkin
+// projections (the shadow of a polytope can be checked vertex by vertex).
+
+#ifndef LYRIC_GEOMETRY_POLYTOPE2_H_
+#define LYRIC_GEOMETRY_POLYTOPE2_H_
+
+#include <vector>
+
+#include "constraint/conjunction.h"
+
+namespace lyric {
+
+/// An exact point in the plane.
+struct Point2 {
+  Rational x;
+  Rational y;
+
+  bool operator==(const Point2& o) const { return x == o.x && y == o.y; }
+  bool operator<(const Point2& o) const {
+    if (x != o.x) return x < o.x;
+    return y < o.y;
+  }
+};
+
+/// Exact computational geometry over conjunctions in variables (x, y).
+class Polytope2 {
+ public:
+  /// Vertices of the (closed) polyhedron `c` restricted to variables
+  /// `x`, `y`, in counter-clockwise order. Fails for unbounded regions,
+  /// conjunctions mentioning other variables, or disequalities. Strict
+  /// atoms contribute their closures (vertices of the closure).
+  static Result<std::vector<Point2>> Vertices(const Conjunction& c, VarId x,
+                                              VarId y);
+
+  /// Exact area of the closure of `c` (0 for empty / degenerate).
+  static Result<Rational> Area(const Conjunction& c, VarId x, VarId y);
+
+  /// Halfplane representation of the convex polygon `pts` (any
+  /// orientation; at least 3 distinct non-collinear points).
+  static Result<Conjunction> FromPolygon(const std::vector<Point2>& pts,
+                                         VarId x, VarId y);
+
+  /// Signed area of a polygon (positive when counter-clockwise).
+  static Rational SignedArea(const std::vector<Point2>& pts);
+
+  /// Orientation of the triple (a, b, c): >0 counter-clockwise, 0
+  /// collinear, <0 clockwise.
+  static int Orientation(const Point2& a, const Point2& b, const Point2& c);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_GEOMETRY_POLYTOPE2_H_

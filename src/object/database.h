@@ -1,0 +1,129 @@
+// The constraint object base: class extents, attribute storage, and the
+// CST store.
+//
+// Following the model theory of §3.2, a database is a general structure:
+// a mapping from oids to classes and attribute values, plus the mapping
+// from CST oids to the point sets they denote. The CST store interns
+// constraint objects by canonical form, so two attribute writes of
+// equivalent-up-to-canonical-form constraints share one oid.
+
+#ifndef LYRIC_OBJECT_DATABASE_H_
+#define LYRIC_OBJECT_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraint/cst_object.h"
+#include "object/method.h"
+#include "object/schema.h"
+#include "object/value.h"
+
+namespace lyric {
+
+/// A stored object: its class and attribute values.
+struct ObjectRecord {
+  std::string class_name;
+  std::map<std::string, Value> attrs;
+};
+
+/// An object-oriented constraint database instance over a Schema.
+class Database {
+ public:
+  Database() = default;
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  MethodRegistry& methods() { return methods_; }
+  const MethodRegistry& methods() const { return methods_; }
+
+  /// Resolves and invokes a method on `self` (polymorphic dispatch over
+  /// the receiver's class and argument classes, §2.1), checking the
+  /// result against the matched signature.
+  Result<Value> InvokeMethod(const Oid& self, const std::string& name,
+                             const std::vector<Oid>& args);
+
+  /// The dynamic class of any oid: stored objects report their class,
+  /// literals their primitive class, CST oids "CST(n)". NotFound for
+  /// unmanaged symbols.
+  Result<std::string> DynamicClassOf(const Oid& oid) const;
+
+  /// Creates an object of `class_name` identified by `oid`.
+  Status Insert(const Oid& oid, const std::string& class_name);
+
+  /// Declares `oid` (typically a CST oid) an instance of an additional
+  /// class — the mechanism behind CREATE VIEW ... AS SUBCLASS and behind
+  /// user CST subclasses such as Region <= CST(2).
+  Status AddInstanceOf(const Oid& oid, const std::string& class_name);
+
+  /// Sets an attribute value, checking the signature: the attribute must
+  /// exist on the object's class, scalar/set-ness must match, and every
+  /// element must be an instance of the target class (CST attributes
+  /// additionally check dimension).
+  Status SetAttribute(const Oid& oid, const std::string& attr, Value value);
+
+  /// Convenience: stores a CST object into a CST attribute (interning it
+  /// first) and returns its oid.
+  Result<Oid> SetCstAttribute(const Oid& oid, const std::string& attr,
+                              const CstObject& value);
+
+  Result<Value> GetAttribute(const Oid& oid, const std::string& attr) const;
+
+  /// Removes an attribute value ("there is no reason that moving a desk
+  /// would be limited in any way" — §6 on fully general CST updates).
+  Status ClearAttribute(const Oid& oid, const std::string& attr);
+
+  /// Deletes an object. Fails with InvalidArgument when another object
+  /// still references it through an attribute, unless `force` (then the
+  /// referencing attribute values are cleared).
+  Status DeleteObject(const Oid& oid, bool force = false);
+  bool HasObject(const Oid& oid) const { return objects_.count(oid) > 0; }
+  Result<std::string> ClassOf(const Oid& oid) const;
+
+  /// Interns a CST object by canonical form and returns its oid.
+  Result<Oid> InternCst(const CstObject& obj);
+  /// The CST object denoted by a CST oid.
+  Result<CstObject> GetCst(const Oid& oid) const;
+
+  /// Is `oid` an instance of `class_name`? Covers literals (20 : int),
+  /// CST oids (dimension n : CST(n) : CST), stored objects (via IS-A),
+  /// and extra instance-of declarations.
+  bool InstanceOf(const Oid& oid, const std::string& class_name) const;
+
+  /// All objects whose class IS-A `class_name` (the class extent),
+  /// including extra instance-of declarations; deterministic order.
+  std::vector<Oid> Extent(const std::string& class_name) const;
+
+  /// All stored oids in deterministic order.
+  std::vector<Oid> AllObjects() const;
+
+  /// Read access to the full object store (serialization, debugging).
+  const std::map<Oid, ObjectRecord>& objects() const { return objects_; }
+  /// Read access to the extra instance-of facts.
+  const std::map<Oid, std::vector<std::string>>& extra_instance_of() const {
+    return extra_classes_;
+  }
+
+  size_t ObjectCount() const { return objects_.size(); }
+  size_t CstCount() const { return cst_store_.size(); }
+
+  /// Full integrity sweep: every stored attribute conforms to its
+  /// signature, every referenced oid exists where the signature demands
+  /// an object class. Returns the first violation.
+  Status CheckIntegrity() const;
+
+ private:
+  Status CheckValueAgainst(const AttributeDef& attr, const Value& value) const;
+
+  Schema schema_;
+  MethodRegistry methods_;
+  std::map<Oid, ObjectRecord> objects_;
+  std::map<std::string, CstObject> cst_store_;  // canonical -> object
+  // Extra instance-of facts (oid may appear for several classes).
+  std::map<Oid, std::vector<std::string>> extra_classes_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_OBJECT_DATABASE_H_

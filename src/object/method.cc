@@ -1,0 +1,206 @@
+#include "object/method.h"
+
+#include "object/database.h"
+
+namespace lyric {
+
+Status MethodRegistry::Register(std::string class_name, std::string name,
+                                MethodSignature signature, MethodFn fn) {
+  if (!fn) {
+    return Status::InvalidArgument("method '" + name +
+                                   "' registered without a body");
+  }
+  MethodEntry entry{class_name, name, std::move(signature), std::move(fn)};
+  methods_[{std::move(class_name), std::move(name)}].push_back(
+      std::move(entry));
+  return Status::OK();
+}
+
+Result<const MethodEntry*> MethodRegistry::Resolve(
+    const Database& db, const std::string& class_name,
+    const std::string& name, const std::vector<Oid>& args) const {
+  // Walk the receiver class, then its parents (breadth-first over IS-A).
+  std::vector<std::string> frontier{class_name};
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& cls : frontier) {
+      if (!seen.insert(cls).second) continue;
+      auto it = methods_.find({cls, name});
+      if (it != methods_.end()) {
+        for (const MethodEntry& entry : it->second) {
+          if (entry.signature.arg_classes.size() != args.size()) continue;
+          bool match = true;
+          for (size_t i = 0; i < args.size(); ++i) {
+            if (!db.InstanceOf(args[i], entry.signature.arg_classes[i])) {
+              match = false;
+              break;
+            }
+          }
+          if (match) return &entry;
+        }
+      }
+      Result<const ClassDef*> def = db.schema().GetClass(cls);
+      if (def.ok()) {
+        for (const std::string& p : (*def)->parents) next.push_back(p);
+      }
+      // CST(n) implicitly IS-A CST.
+      if (ParseCstClassName(cls).has_value()) next.push_back(kCstClass);
+      if (cls == kIntClass) next.push_back(kRealClass);
+    }
+    frontier = std::move(next);
+  }
+  return Status::NotFound("no method '" + name + "' on class '" +
+                          class_name + "' matching " +
+                          std::to_string(args.size()) + " argument(s)");
+}
+
+bool MethodRegistry::Has(const Schema& schema, const std::string& class_name,
+                         const std::string& name) const {
+  std::vector<std::string> frontier{class_name};
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& cls : frontier) {
+      if (!seen.insert(cls).second) continue;
+      if (methods_.count({cls, name})) return true;
+      Result<const ClassDef*> def = schema.GetClass(cls);
+      if (def.ok()) {
+        for (const std::string& p : (*def)->parents) next.push_back(p);
+      }
+      if (ParseCstClassName(cls).has_value()) next.push_back(kCstClass);
+      if (cls == kIntClass) next.push_back(kRealClass);
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+bool MethodRegistry::HasAnywhere(const std::string& name) const {
+  for (const auto& [key, overloads] : methods_) {
+    (void)overloads;
+    if (key.second == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> MethodRegistry::VisibleMethods(
+    const Schema& schema, const std::string& class_name) const {
+  std::vector<std::string> out;
+  std::set<std::string> names;
+  std::vector<std::string> frontier{class_name};
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& cls : frontier) {
+      if (!seen.insert(cls).second) continue;
+      for (const auto& [key, overloads] : methods_) {
+        (void)overloads;
+        if (key.first == cls && names.insert(key.second).second) {
+          out.push_back(key.second);
+        }
+      }
+      Result<const ClassDef*> def = schema.GetClass(cls);
+      if (def.ok()) {
+        for (const std::string& p : (*def)->parents) next.push_back(p);
+      }
+      if (ParseCstClassName(cls).has_value()) next.push_back(kCstClass);
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+namespace {
+
+Result<CstObject> CstOf(Database* db, const Oid& oid) {
+  return db->GetCst(oid);
+}
+
+}  // namespace
+
+Status RegisterBuiltinCstMethods(Database* db) {
+  MethodRegistry& reg = db->methods();
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "dimension", MethodSignature{{}, kIntClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>&)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject obj, CstOf(d, self));
+        return Value::Scalar(Oid::Int(static_cast<int64_t>(obj.Dimension())));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "satisfiable", MethodSignature{{}, kBoolClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>&)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject obj, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(bool sat, obj.Satisfiable());
+        return Value::Scalar(Oid::Bool(sat));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "bounded", MethodSignature{{}, kBoolClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>&)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject obj, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(bool sat, obj.Satisfiable());
+        if (!sat) return Value::Scalar(Oid::Bool(true));
+        LYRIC_ASSIGN_OR_RETURN(auto box, obj.BoundingBox());
+        for (const CstObject::Interval& iv : box) {
+          if (!iv.lower.has_value() || !iv.upper.has_value()) {
+            return Value::Scalar(Oid::Bool(false));
+          }
+        }
+        return Value::Scalar(Oid::Bool(true));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "conjoin", MethodSignature{{kCstClass}, kCstClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>& args)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject a, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(CstObject b, CstOf(d, args[0]));
+        // Positional identification of dimensions.
+        LYRIC_ASSIGN_OR_RETURN(CstObject aligned, b.RenameTo(a.Interface()));
+        LYRIC_ASSIGN_OR_RETURN(CstObject out, a.Conjoin(aligned));
+        LYRIC_ASSIGN_OR_RETURN(Oid oid, d->InternCst(out));
+        return Value::Scalar(std::move(oid));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "disjoin", MethodSignature{{kCstClass}, kCstClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>& args)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject a, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(CstObject b, CstOf(d, args[0]));
+        LYRIC_ASSIGN_OR_RETURN(CstObject aligned, b.RenameTo(a.Interface()));
+        LYRIC_ASSIGN_OR_RETURN(CstObject out, a.Disjoin(aligned));
+        LYRIC_ASSIGN_OR_RETURN(Oid oid, d->InternCst(out));
+        return Value::Scalar(std::move(oid));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "entails", MethodSignature{{kCstClass}, kBoolClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>& args)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject a, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(CstObject b, CstOf(d, args[0]));
+        LYRIC_ASSIGN_OR_RETURN(bool holds, a.Entails(b));
+        return Value::Scalar(Oid::Bool(holds));
+      }));
+
+  LYRIC_RETURN_NOT_OK(reg.Register(
+      kCstClass, "complement", MethodSignature{{}, kCstClass, false},
+      [](Database* d, const Oid& self, const std::vector<Oid>&)
+          -> Result<Value> {
+        LYRIC_ASSIGN_OR_RETURN(CstObject obj, CstOf(d, self));
+        LYRIC_ASSIGN_OR_RETURN(CstObject out, obj.Negate());
+        LYRIC_ASSIGN_OR_RETURN(Oid oid, d->InternCst(out));
+        return Value::Scalar(std::move(oid));
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace lyric

@@ -1,0 +1,104 @@
+// Methods (§2.1): "A method, invoked in the scope of an object on a tuple
+// of arguments, returns an answer, and, possibly, changes the state of
+// that object. ... An attribute is regarded as a 0-ary method."
+//
+// Each method has one or more signatures
+//
+//     Mthd : Arg1, ..., Argk  =>  Result     (scalar)
+//     Mthd : Arg1, ..., Argk  =>> Result     (set-valued)
+//
+// attached to a class; a method with several signatures is *polymorphic*
+// and dispatch picks the first signature (walking the receiver's class
+// and then its superclasses) whose argument classes admit the actual
+// arguments. Implementations are C++ callables.
+//
+// Methods are deliberately kept out of the declarative query translation
+// (§5 excludes them: "they provide unlimited computational power"), but
+// 0-ary methods participate in path expressions exactly like attributes,
+// and the CST superclasses ship with the polymorphic constraint
+// operations §3 promises (dimension, satisfiable, conjoin, ...).
+
+#ifndef LYRIC_OBJECT_METHOD_H_
+#define LYRIC_OBJECT_METHOD_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "object/schema.h"
+#include "object/value.h"
+
+namespace lyric {
+
+class Database;
+
+/// A method implementation: receiver + arguments -> value. May read and
+/// write the database (methods can change object state, §2.1).
+using MethodFn = std::function<Result<Value>(Database* db, const Oid& self,
+                                             const std::vector<Oid>& args)>;
+
+/// One signature of a (possibly polymorphic) method.
+struct MethodSignature {
+  std::vector<std::string> arg_classes;
+  std::string result_class;
+  bool set_valued = false;
+};
+
+/// A registered method body under one signature.
+struct MethodEntry {
+  std::string class_name;
+  std::string name;
+  MethodSignature signature;
+  MethodFn fn;
+};
+
+/// Per-database registry of methods, keyed by (class, name); resolution
+/// walks the IS-A hierarchy and matches signatures against actual
+/// argument classes.
+class MethodRegistry {
+ public:
+  /// Registers a method body. Multiple registrations of the same name on
+  /// the same class add polymorphic overloads (checked in order).
+  Status Register(std::string class_name, std::string name,
+                  MethodSignature signature, MethodFn fn);
+
+  /// Resolves `name` for a receiver of `class_name` with the given actual
+  /// argument oids; `db` supplies instance-of tests for the argument
+  /// classes. NotFound when nothing matches.
+  Result<const MethodEntry*> Resolve(const Database& db,
+                                     const std::string& class_name,
+                                     const std::string& name,
+                                     const std::vector<Oid>& args) const;
+
+  /// True if the class (or a superclass) defines any overload of `name`.
+  bool Has(const Schema& schema, const std::string& class_name,
+           const std::string& name) const;
+
+  /// True if any class defines a method called `name` (used to keep
+  /// method names from being mistaken for attribute variables).
+  bool HasAnywhere(const std::string& name) const;
+
+  /// All method names visible on a class, inherited included.
+  std::vector<std::string> VisibleMethods(const Schema& schema,
+                                          const std::string& class_name) const;
+
+ private:
+  // (class, name) -> overloads in registration order.
+  std::map<std::pair<std::string, std::string>, std::vector<MethodEntry>>
+      methods_;
+};
+
+/// Installs the built-in polymorphic CST methods on the CST superclass:
+///   dimension()            => int
+///   satisfiable()          => bool
+///   bounded()              => bool       (every dimension has both bounds)
+///   conjoin(CST)           => CST        (intersection, §1.1)
+///   disjoin(CST)           => CST        (union)
+///   entails(CST)           => bool       (containment = implication)
+///   complement()           => CST        (conjunctive objects only)
+Status RegisterBuiltinCstMethods(Database* db);
+
+}  // namespace lyric
+
+#endif  // LYRIC_OBJECT_METHOD_H_

@@ -1,0 +1,158 @@
+#include "object/oid.h"
+
+namespace lyric {
+
+const char* OidKindToString(OidKind kind) {
+  switch (kind) {
+    case OidKind::kInt:
+      return "int";
+    case OidKind::kReal:
+      return "real";
+    case OidKind::kString:
+      return "string";
+    case OidKind::kBool:
+      return "bool";
+    case OidKind::kSymbol:
+      return "symbol";
+    case OidKind::kCst:
+      return "cst";
+    case OidKind::kFunc:
+      return "func";
+  }
+  return "?";
+}
+
+Oid Oid::Int(int64_t v) {
+  Oid o;
+  o.kind_ = OidKind::kInt;
+  o.int_ = v;
+  return o;
+}
+
+Oid Oid::Real(Rational v) {
+  Oid o;
+  o.kind_ = OidKind::kReal;
+  o.real_ = std::move(v);
+  return o;
+}
+
+Oid Oid::Str(std::string v) {
+  Oid o;
+  o.kind_ = OidKind::kString;
+  o.str_ = std::make_shared<const std::string>(std::move(v));
+  return o;
+}
+
+Oid Oid::Bool(bool v) {
+  Oid o;
+  o.kind_ = OidKind::kBool;
+  o.int_ = v ? 1 : 0;
+  return o;
+}
+
+Oid Oid::Symbol(std::string name) {
+  Oid o;
+  o.kind_ = OidKind::kSymbol;
+  o.str_ = std::make_shared<const std::string>(std::move(name));
+  return o;
+}
+
+Oid Oid::Cst(std::string canonical) {
+  Oid o;
+  o.kind_ = OidKind::kCst;
+  o.str_ = std::make_shared<const std::string>(std::move(canonical));
+  return o;
+}
+
+Oid Oid::Func(std::string fn, std::vector<Oid> args) {
+  Oid o;
+  o.kind_ = OidKind::kFunc;
+  o.str_ = std::make_shared<const std::string>(std::move(fn));
+  o.args_ = std::make_shared<const std::vector<Oid>>(std::move(args));
+  return o;
+}
+
+int Oid::Compare(const Oid& o) const {
+  if (kind_ != o.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(o.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case OidKind::kInt:
+    case OidKind::kBool:
+      if (int_ != o.int_) return int_ < o.int_ ? -1 : 1;
+      return 0;
+    case OidKind::kReal:
+      return real_.Compare(o.real_);
+    case OidKind::kString:
+    case OidKind::kSymbol:
+    case OidKind::kCst:
+      return str_->compare(*o.str_);
+    case OidKind::kFunc: {
+      int c = str_->compare(*o.str_);
+      if (c != 0) return c;
+      const auto& a = *args_;
+      const auto& b = *o.args_;
+      for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        int ci = a[i].Compare(b[i]);
+        if (ci != 0) return ci;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Oid::Hash() const {
+  size_t h = static_cast<size_t>(kind_) * 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  switch (kind_) {
+    case OidKind::kInt:
+    case OidKind::kBool:
+      mix(static_cast<size_t>(int_));
+      break;
+    case OidKind::kReal:
+      mix(real_.Hash());
+      break;
+    case OidKind::kString:
+    case OidKind::kSymbol:
+    case OidKind::kCst:
+      mix(std::hash<std::string>()(*str_));
+      break;
+    case OidKind::kFunc:
+      mix(std::hash<std::string>()(*str_));
+      for (const Oid& a : *args_) mix(a.Hash());
+      break;
+  }
+  return h;
+}
+
+std::string Oid::ToString() const {
+  switch (kind_) {
+    case OidKind::kInt:
+      return std::to_string(int_);
+    case OidKind::kBool:
+      return int_ ? "true" : "false";
+    case OidKind::kReal:
+      return real_.ToString();
+    case OidKind::kString:
+      return "'" + *str_ + "'";
+    case OidKind::kSymbol:
+      return *str_;
+    case OidKind::kCst:
+      return *str_;
+    case OidKind::kFunc: {
+      std::string out = *str_ + "(";
+      for (size_t i = 0; i < args_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*args_)[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace lyric

@@ -1,0 +1,100 @@
+// Logical object identities (oids).
+//
+// In the XSQL data model (§2.1) every value is an object referred to by a
+// logical oid: numbers and strings are oids with built-in semantics,
+// named entities like `my_desk` are symbolic oids, `secretary(dept77)` is
+// a functional oid built by an id-function, and — LyriC's addition (§3.2)
+// — a CST object is an oid whose identity is the canonical form of its
+// constraint.
+
+#ifndef LYRIC_OBJECT_OID_H_
+#define LYRIC_OBJECT_OID_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "arith/rational.h"
+
+namespace lyric {
+
+/// Discriminator of an oid's built-in kind.
+enum class OidKind {
+  kInt,     // 20
+  kReal,    // 2.5 (exact rational)
+  kString,  // 'red'
+  kBool,    // true
+  kSymbol,  // my_desk
+  kCst,     // a CST object, identified by its canonical constraint string
+  kFunc,    // f(oid, ...) — id-function application (OID FUNCTION OF)
+};
+
+const char* OidKindToString(OidKind kind);
+
+/// An immutable logical object id. Totally ordered and hashable so oids
+/// can key maps and sets; comparison is by kind, then by content.
+class Oid {
+ public:
+  /// Constructs the integer oid 0.
+  Oid() : kind_(OidKind::kInt), int_(0) {}
+
+  static Oid Int(int64_t v);
+  static Oid Real(Rational v);
+  static Oid Str(std::string v);
+  static Oid Bool(bool v);
+  static Oid Symbol(std::string name);
+  /// `canonical` must be a CstObject::CanonicalString result; equality of
+  /// CST oids is equality of canonical forms (§3.1's accepted notion).
+  static Oid Cst(std::string canonical);
+  static Oid Func(std::string fn, std::vector<Oid> args);
+
+  OidKind kind() const { return kind_; }
+  bool IsCst() const { return kind_ == OidKind::kCst; }
+
+  /// Accessors; each must only be called for the matching kind.
+  int64_t AsInt() const { return int_; }
+  bool AsBool() const { return int_ != 0; }
+  const Rational& AsReal() const { return real_; }
+  /// String payload of kString / kSymbol / kCst / kFunc (function name).
+  const std::string& AsString() const { return *str_; }
+  const std::vector<Oid>& FuncArgs() const { return *args_; }
+
+  /// Numeric value of an int or real oid.
+  Rational AsNumeric() const {
+    return kind_ == OidKind::kInt ? Rational(int_) : real_;
+  }
+  bool IsNumeric() const {
+    return kind_ == OidKind::kInt || kind_ == OidKind::kReal;
+  }
+
+  bool operator==(const Oid& o) const { return Compare(o) == 0; }
+  bool operator!=(const Oid& o) const { return Compare(o) != 0; }
+  bool operator<(const Oid& o) const { return Compare(o) < 0; }
+  int Compare(const Oid& o) const;
+
+  size_t Hash() const;
+
+  /// "20", "'red'", "my_desk", "f(a, b)", "cst:((@0) | @0 <= 1)".
+  std::string ToString() const;
+
+ private:
+  OidKind kind_;
+  int64_t int_ = 0;              // kInt, kBool
+  Rational real_;                // kReal
+  std::shared_ptr<const std::string> str_;        // kString/kSymbol/kCst/kFunc
+  std::shared_ptr<const std::vector<Oid>> args_;  // kFunc
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Oid& oid) {
+  return os << oid.ToString();
+}
+
+struct OidHash {
+  size_t operator()(const Oid& oid) const { return oid.Hash(); }
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_OBJECT_OID_H_

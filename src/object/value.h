@@ -1,0 +1,70 @@
+// Attribute values: a single oid (scalar attributes) or a set of oids
+// (set-valued attributes, §2.1).
+
+#ifndef LYRIC_OBJECT_VALUE_H_
+#define LYRIC_OBJECT_VALUE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+
+namespace lyric {
+
+/// The value of an attribute on an object.
+class Value {
+ public:
+  /// Constructs an empty set value.
+  Value() : is_set_(true) {}
+
+  static Value Scalar(Oid oid) {
+    Value v;
+    v.is_set_ = false;
+    v.elems_ = {std::move(oid)};
+    return v;
+  }
+  static Value Set(std::vector<Oid> oids) {
+    Value v;
+    v.is_set_ = true;
+    std::sort(oids.begin(), oids.end());
+    oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+    v.elems_ = std::move(oids);
+    return v;
+  }
+
+  bool is_set() const { return is_set_; }
+  bool is_scalar() const { return !is_set_; }
+  /// The scalar oid; only valid when is_scalar().
+  const Oid& scalar() const { return elems_[0]; }
+  /// The member oids (a singleton for scalars).
+  const std::vector<Oid>& elements() const { return elems_; }
+
+  bool Contains(const Oid& oid) const {
+    return std::binary_search(elems_.begin(), elems_.end(), oid) ||
+           (!is_set_ && elems_[0] == oid);
+  }
+
+  bool operator==(const Value& o) const {
+    return is_set_ == o.is_set_ && elems_ == o.elems_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    if (!is_set_) return elems_[0].ToString();
+    std::string out = "{";
+    for (size_t i = 0; i < elems_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += elems_[i].ToString();
+    }
+    return out + "}";
+  }
+
+ private:
+  bool is_set_;
+  std::vector<Oid> elems_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_OBJECT_VALUE_H_

@@ -1,0 +1,70 @@
+// The paper's running example: the office (architectural) design database
+// of Figures 1 and 2.
+//
+// Schema (Figure 1, IS-A dashed / composition solid):
+//
+//   Object_in_Room            -- an object placed in a room
+//     cat_number  : string
+//     inv_number  : string
+//     location    : CST(x, y)       -- center position in room coordinates
+//     catalog_object : Office_Object (x, y)
+//   Office_Object (x, y)      -- a catalog object, local coordinates
+//     name        : string
+//     color       : string
+//     extent      : CST(w, z)       -- shape in local coordinates
+//     translation : CST(w, z, x, y, u, v)  -- local->room coordinate map
+//   Desk IS-A Office_Object
+//     drawer_center : CST(p, q)     -- line the drawer center moves along
+//     drawer      : Drawer (p, q)
+//   File_Cabinet IS-A Office_Object
+//     drawer_center* : CST(p1, q1)  -- set-valued: one per drawer
+//     drawer*     : Drawer (p1, q1)
+//   Drawer (x, y)
+//     color       : string
+//     extent      : CST(w, z)
+//     translation : CST(w, z, x, y, u, v)
+//
+// Instance (Figure 2 / §3.2): the room contains `my_desk` at (6, 4) whose
+// catalog object is the red 'standard desk' with a centered drawer.
+
+#ifndef LYRIC_OFFICE_OFFICE_DB_H_
+#define LYRIC_OFFICE_OFFICE_DB_H_
+
+#include <cstdint>
+
+#include "object/database.h"
+
+namespace lyric {
+namespace office {
+
+/// Oids of the Figure 2 instance.
+struct OfficeIds {
+  Oid my_desk;        // Object_in_Room
+  Oid standard_desk;  // Desk (catalog object)
+  Oid the_drawer;     // Drawer
+};
+
+/// Installs the Figure 1 classes into `schema`.
+Status BuildOfficeSchema(Schema* schema);
+
+/// Installs schema + the Figure 2 instance; returns its oids.
+Result<OfficeIds> BuildOfficeDatabase(Database* db);
+
+/// Helper constraint builders (exact to the §3.2 instance table).
+CstObject LocationAt(int64_t x, int64_t y);
+CstObject BoxExtent(int64_t half_w, int64_t half_z);
+CstObject StandardTranslation();
+CstObject StandardDrawerCenter();
+
+/// Adds `num_desks` extra desks at deterministic pseudo-random positions
+/// inside a 20 x 10 room (the paper's assumed room size); used to scale
+/// the database for the data-complexity benches. Desk i is the
+/// Object_in_Room `desk_i(seed)` referencing a shared or per-desk catalog
+/// object depending on `share_catalog`.
+Status AddScaledDesks(Database* db, int num_desks, uint64_t seed,
+                      bool share_catalog = true);
+
+}  // namespace office
+}  // namespace lyric
+
+#endif  // LYRIC_OFFICE_OFFICE_DB_H_

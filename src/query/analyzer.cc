@@ -1,0 +1,337 @@
+#include "query/analyzer.h"
+
+#include "query/path_walker.h"
+
+namespace lyric {
+
+// Variables known to be bound at the current point, with their inferred
+// classes ("" = bound but class unknown).
+struct Analyzer::Scope {
+  std::map<std::string, std::string> bound;
+  std::set<std::string> declared;
+
+  bool IsBound(const std::string& var) const { return bound.count(var) > 0; }
+  void Bind(const std::string& var, const std::string& cls) {
+    auto [it, inserted] = bound.emplace(var, cls);
+    if (!inserted && it->second.empty()) it->second = cls;
+  }
+};
+
+namespace {
+
+// True for identifiers that denote attribute variables (no such attribute
+// anywhere in the schema).
+bool IsAttributeVariable(const Database& db, const std::string& name) {
+  for (const std::string& cls : db.schema().ClassNames()) {
+    if (db.schema().FindAttribute(cls, name).ok()) return false;
+  }
+  return !db.methods().HasAnywhere(name);
+}
+
+std::optional<size_t> CstDimensionOf(const std::string& cls) {
+  return ParseCstClassName(cls);
+}
+
+}  // namespace
+
+Result<std::string> Analyzer::AnalyzePath(const ast::PathExpr& path,
+                                          Scope* scope,
+                                          AnalysisReport* report,
+                                          bool binding_allowed) const {
+  std::string cur_class;
+  if (path.head.kind == ast::NameOrLiteral::Kind::kLiteral) {
+    cur_class = "";  // Literal heads type as their oid kind; steps rare.
+  } else if (scope->declared.count(path.head.name)) {
+    if (!scope->IsBound(path.head.name)) {
+      return Status::TypeError(
+          "variable '" + path.head.name + "' is used in path " +
+          path.ToString() +
+          " before it is bound (bind it via FROM or an earlier conjunct)");
+    }
+    cur_class = scope->bound.at(path.head.name);
+  } else {
+    // Symbolic oid.
+    Oid sym = Oid::Symbol(path.head.name);
+    if (db_->HasObject(sym)) {
+      Result<std::string> cls = db_->ClassOf(sym);
+      if (cls.ok()) cur_class = *cls;
+    } else {
+      report->warnings.push_back("symbolic oid '" + path.head.name +
+                                 "' does not name a stored object");
+    }
+  }
+  for (const ast::PathExpr::Step& step : path.steps) {
+    std::string next_class;
+    bool next_known = false;
+    if (IsAttributeVariable(*db_, step.attribute)) {
+      report->warnings.push_back(
+          "'" + step.attribute + "' in path " + path.ToString() +
+          " is a higher-order attribute variable (enumerates attributes)");
+    } else if (!cur_class.empty()) {
+      auto dim = CstDimensionOf(cur_class);
+      Result<const AttributeDef*> attr =
+          db_->schema().FindAttribute(cur_class, step.attribute);
+      if (!attr.ok() &&
+          db_->methods().Has(db_->schema(), cur_class, step.attribute)) {
+        // A 0-ary method step; its result class depends on dispatch, so
+        // the walk continues with an unknown class.
+      } else if (!attr.ok()) {
+        if (dim.has_value() || cur_class == kCstClass) {
+          // CST oids may carry extra instance-of classes with attributes;
+          // not statically resolvable.
+          report->warnings.push_back("attribute '" + step.attribute +
+                                     "' on a CST value in path " +
+                                     path.ToString() +
+                                     " cannot be checked statically");
+        } else {
+          return Status::TypeError("class '" + cur_class +
+                                   "' has no attribute '" + step.attribute +
+                                   "' (in path " + path.ToString() + ")");
+        }
+      } else {
+        next_known = true;
+        next_class = (*attr)->IsCst()
+                         ? CstClassName((*attr)->variables.size())
+                         : (*attr)->target_class;
+      }
+    }
+    // Selector handling.
+    if (step.selector.has_value() &&
+        step.selector->kind == ast::NameOrLiteral::Kind::kName &&
+        scope->declared.count(step.selector->name)) {
+      const std::string& var = step.selector->name;
+      if (!scope->IsBound(var)) {
+        if (!binding_allowed) {
+          return Status::TypeError(
+              "variable '" + var + "' cannot be bound inside this context (" +
+              path.ToString() + ")");
+        }
+        scope->Bind(var, next_known ? next_class : "");
+      } else if (next_known && !scope->bound.at(var).empty()) {
+        const std::string& have = scope->bound.at(var);
+        if (have != next_class &&
+            !db_->schema().IsSubclass(have, next_class) &&
+            !db_->schema().IsSubclass(next_class, have)) {
+          return Status::TypeError(
+              "variable '" + var + "' is used both as '" + have +
+              "' and as '" + next_class + "' (in path " + path.ToString() +
+              ")");
+        }
+      }
+    }
+    cur_class = next_known ? next_class : "";
+  }
+  return cur_class;
+}
+
+Status Analyzer::AnalyzeArith(const ast::ArithExpr& expr, const Scope& scope,
+                              AnalysisReport* report) const {
+  using Kind = ast::ArithExpr::Kind;
+  switch (expr.kind) {
+    case Kind::kConst:
+      return Status::OK();
+    case Kind::kName:
+      if (scope.declared.count(expr.name) && !scope.IsBound(expr.name)) {
+        return Status::TypeError("query variable '" + expr.name +
+                                 "' is used in a formula before it is "
+                                 "bound");
+      }
+      if (scope.IsBound(expr.name)) {
+        const std::string& cls = scope.bound.at(expr.name);
+        if (!cls.empty() && cls != kIntClass && cls != kRealClass) {
+          return Status::TypeError(
+              "query variable '" + expr.name + "' of class '" + cls +
+              "' is used as a number in a formula");
+        }
+      }
+      return Status::OK();
+    case Kind::kPath: {
+      Scope copy = scope;  // Paths in arithmetic never bind.
+      LYRIC_ASSIGN_OR_RETURN(std::string cls,
+                             AnalyzePath(*expr.path, &copy, report,
+                                         /*binding_allowed=*/false));
+      if (!cls.empty() && cls != kIntClass && cls != kRealClass) {
+        return Status::TypeError("path " + expr.path->ToString() +
+                                 " of class '" + cls +
+                                 "' is used as a number in a formula");
+      }
+      return Status::OK();
+    }
+    case Kind::kNeg:
+      return AnalyzeArith(*expr.lhs, scope, report);
+    default:
+      LYRIC_RETURN_NOT_OK(AnalyzeArith(*expr.lhs, scope, report));
+      return AnalyzeArith(*expr.rhs, scope, report);
+  }
+}
+
+Status Analyzer::AnalyzeFormula(const ast::Formula& formula,
+                                const Scope& scope,
+                                AnalysisReport* report) const {
+  using Kind = ast::Formula::Kind;
+  switch (formula.kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return Status::OK();
+    case Kind::kAtom:
+      LYRIC_RETURN_NOT_OK(AnalyzeArith(*formula.atom_lhs, scope, report));
+      return AnalyzeArith(*formula.atom_rhs, scope, report);
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      for (const auto& child : formula.children) {
+        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*child, scope, report));
+      }
+      return Status::OK();
+    case Kind::kProject:
+    case Kind::kExists:
+      return AnalyzeFormula(*formula.children[0], scope, report);
+    case Kind::kPred: {
+      Scope copy = scope;
+      LYRIC_ASSIGN_OR_RETURN(std::string cls,
+                             AnalyzePath(*formula.pred, &copy, report,
+                                         /*binding_allowed=*/false));
+      auto dim = CstDimensionOf(cls);
+      if (!cls.empty() && !dim.has_value() && cls != kCstClass &&
+          !db_->schema().IsSubclass(cls, kCstClass)) {
+        return Status::TypeError("predicate " + formula.pred->ToString() +
+                                 " has class '" + cls +
+                                 "', which is not a CST class");
+      }
+      if (dim.has_value() && formula.pred_args.has_value() &&
+          formula.pred_args->size() != *dim) {
+        return Status::TypeError(
+            "predicate " + formula.pred->ToString() + " has dimension " +
+            std::to_string(*dim) + " but is invoked with " +
+            std::to_string(formula.pred_args->size()) + " variables");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad formula node");
+}
+
+Status Analyzer::AnalyzeWhere(const ast::WhereExpr& where, Scope* scope,
+                              AnalysisReport* report) const {
+  using Kind = ast::WhereExpr::Kind;
+  switch (where.kind) {
+    case Kind::kAnd:
+      for (const auto& child : where.children) {
+        LYRIC_RETURN_NOT_OK(AnalyzeWhere(*child, scope, report));
+      }
+      return Status::OK();
+    case Kind::kOr: {
+      // Bindings inside OR branches do not escape (a row may satisfy only
+      // one branch).
+      for (const auto& child : where.children) {
+        Scope branch = *scope;
+        LYRIC_RETURN_NOT_OK(AnalyzeWhere(*child, &branch, report));
+      }
+      return Status::OK();
+    }
+    case Kind::kNot: {
+      Scope inner = *scope;
+      return AnalyzeWhere(*where.children[0], &inner, report);
+    }
+    case Kind::kPathPred:
+      return AnalyzePath(where.path, scope, report, /*binding_allowed=*/true)
+          .status();
+    case Kind::kCompare: {
+      for (const ast::WhereExpr::Operand* op :
+           {&where.cmp_lhs, &where.cmp_rhs}) {
+        if (op->kind == ast::WhereExpr::Operand::Kind::kPath) {
+          LYRIC_RETURN_NOT_OK(
+              AnalyzePath(op->path, scope, report, /*binding_allowed=*/true)
+                  .status());
+        }
+      }
+      return Status::OK();
+    }
+    case Kind::kFormulaSat:
+      return AnalyzeFormula(*where.formula, *scope, report);
+    case Kind::kEntails:
+      LYRIC_RETURN_NOT_OK(AnalyzeFormula(*where.ent_lhs, *scope, report));
+      return AnalyzeFormula(*where.ent_rhs, *scope, report);
+  }
+  return Status::Internal("bad WHERE node");
+}
+
+Result<AnalysisReport> Analyzer::Analyze(const ast::Query& query) const {
+  AnalysisReport report;
+  Scope scope;
+  scope.declared = CollectDeclaredVars(query, *db_);
+
+  // FROM.
+  for (const ast::FromItem& item : query.from) {
+    if (!db_->schema().HasClass(item.class_name)) {
+      return Status::NotFound("FROM: unknown class '" + item.class_name +
+                              "'");
+    }
+    if (scope.IsBound(item.var)) {
+      report.warnings.push_back(
+          "FROM variable '" + item.var +
+          "' is declared twice (instances must agree)");
+    }
+    scope.Bind(item.var, item.class_name);
+  }
+  // View header.
+  if (query.is_view) {
+    if (!db_->schema().HasClass(query.view_parent)) {
+      return Status::NotFound("view parent class '" + query.view_parent +
+                              "' does not exist");
+    }
+    for (const ast::SignatureItem& sig : query.signature) {
+      if (!db_->schema().HasClass(sig.target_class)) {
+        return Status::NotFound("signature target class '" +
+                                sig.target_class + "' does not exist");
+      }
+    }
+    if (!scope.declared.count(query.view_name) &&
+        db_->schema().HasClass(query.view_name)) {
+      return Status::AlreadyExists("view class '" + query.view_name +
+                                   "' already exists");
+    }
+  }
+  // WHERE (binds bracket variables in conjunct order).
+  if (query.where) {
+    LYRIC_RETURN_NOT_OK(AnalyzeWhere(*query.where, &scope, &report));
+  }
+  // SELECT items see the post-WHERE scope.
+  for (const ast::SelectItem& item : query.select) {
+    switch (item.kind) {
+      case ast::SelectItem::Kind::kPath: {
+        Scope copy = scope;
+        LYRIC_RETURN_NOT_OK(AnalyzePath(item.path, &copy, &report,
+                                        /*binding_allowed=*/false)
+                                .status());
+        break;
+      }
+      case ast::SelectItem::Kind::kFormulaObject:
+        if (item.formula->kind != ast::Formula::Kind::kProject) {
+          return Status::TypeError(
+              "SELECT constraint item must be a projection "
+              "((x1,..,xn) | phi)");
+        }
+        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*item.formula, scope, &report));
+        break;
+      case ast::SelectItem::Kind::kOptimize:
+        LYRIC_RETURN_NOT_OK(AnalyzeArith(*item.objective, scope, &report));
+        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*item.formula, scope, &report));
+        break;
+    }
+  }
+  // OID FUNCTION OF variables must be bound.
+  for (const std::string& var : query.oid_function_of) {
+    if (!scope.IsBound(var)) {
+      return Status::TypeError("OID FUNCTION OF: variable '" + var +
+                               "' is never bound");
+    }
+  }
+  report.var_classes.clear();
+  for (const auto& [var, cls] : scope.bound) {
+    if (!cls.empty()) report.var_classes.emplace(var, cls);
+  }
+  return report;
+}
+
+}  // namespace lyric

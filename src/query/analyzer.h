@@ -1,0 +1,72 @@
+// Static semantic analysis of LyriC queries — the typing discipline §2.2
+// alludes to ("we do not discuss typing and type errors in XSQL queries
+// here"; this module does).
+//
+// The analyzer validates a parsed query against the schema before any
+// data is touched:
+//   * FROM classes exist; repeated FROM variables get a consistency note;
+//   * every path expression type-checks step by step: the attribute must
+//     exist on the statically known class, selectors bind variables of
+//     the attribute's target class, CST attributes end paths in CST(n);
+//   * variables are bound before use under the evaluator's left-to-right
+//     conjunct order (OR branches and NOT bodies do not export bindings);
+//   * CST predicate invocations have the right arity when the dimension
+//     is statically known;
+//   * view headers reference existing parent classes and signature
+//     targets.
+//
+// Hard violations return a Status; softer findings (higher-order
+// attribute variables, unknown symbolic oids, comparisons whose kinds
+// cannot be checked statically) are collected as warnings.
+
+#ifndef LYRIC_QUERY_ANALYZER_H_
+#define LYRIC_QUERY_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "object/database.h"
+#include "query/ast.h"
+
+namespace lyric {
+
+/// Result of a successful analysis.
+struct AnalysisReport {
+  /// Variable -> statically inferred class name (object class, "CST(n)",
+  /// or a primitive); only variables with a determinable class appear.
+  std::map<std::string, std::string> var_classes;
+  /// Non-fatal findings, human-readable.
+  std::vector<std::string> warnings;
+};
+
+/// Stateless semantic analyzer over a database's schema.
+class Analyzer {
+ public:
+  explicit Analyzer(const Database* db) : db_(db) {}
+
+  /// Validates `query`; returns the report or the first hard violation.
+  Result<AnalysisReport> Analyze(const ast::Query& query) const;
+
+ private:
+  struct Scope;
+
+  Status AnalyzeWhere(const ast::WhereExpr& where, Scope* scope,
+                      AnalysisReport* report) const;
+  // Checks a path, binding selector variables in `scope`; returns the
+  // statically known class of the tail ("" when undeterminable).
+  Result<std::string> AnalyzePath(const ast::PathExpr& path, Scope* scope,
+                                  AnalysisReport* report,
+                                  bool binding_allowed) const;
+  Status AnalyzeFormula(const ast::Formula& formula, const Scope& scope,
+                        AnalysisReport* report) const;
+  Status AnalyzeArith(const ast::ArithExpr& expr, const Scope& scope,
+                      AnalysisReport* report) const;
+
+  const Database* db_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_ANALYZER_H_

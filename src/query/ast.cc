@@ -1,0 +1,101 @@
+#include "query/ast.h"
+
+namespace lyric {
+namespace ast {
+
+namespace {
+std::string NameOrLiteralToString(const NameOrLiteral& n) {
+  return n.kind == NameOrLiteral::Kind::kName ? n.name
+                                              : n.literal.ToString();
+}
+}  // namespace
+
+std::string PathExpr::ToString() const {
+  std::string out = NameOrLiteralToString(head);
+  for (const Step& s : steps) {
+    out += "." + s.attribute;
+    if (s.selector.has_value()) {
+      out += "[" + NameOrLiteralToString(*s.selector) + "]";
+    }
+  }
+  return out;
+}
+
+std::string ArithExpr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kName:
+      return name;
+    case Kind::kPath:
+      return path->ToString();
+    case Kind::kAdd:
+      return "(" + lhs->ToString() + " + " + rhs->ToString() + ")";
+    case Kind::kSub:
+      return "(" + lhs->ToString() + " - " + rhs->ToString() + ")";
+    case Kind::kMul:
+      return "(" + lhs->ToString() + " * " + rhs->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + lhs->ToString() + " / " + rhs->ToString() + ")";
+    case Kind::kNeg:
+      return "(-" + lhs->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string Formula::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return atom_lhs->ToString() + " " + relop + " " + atom_rhs->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += "(" + children[i]->ToString() + ")";
+      }
+      return out;
+    }
+    case Kind::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    case Kind::kPred: {
+      std::string out = pred->ToString();
+      if (pred_args.has_value()) {
+        out += "(";
+        for (size_t i = 0; i < pred_args->size(); ++i) {
+          if (i > 0) out += ", ";
+          out += (*pred_args)[i];
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case Kind::kProject: {
+      std::string out = "((";
+      for (size_t i = 0; i < proj_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += proj_vars[i];
+      }
+      out += ") | " + children[0]->ToString() + ")";
+      return out;
+    }
+    case Kind::kExists: {
+      std::string out = "exists ";
+      for (size_t i = 0; i < proj_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += proj_vars[i];
+      }
+      out += " . (" + children[0]->ToString() + ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace ast
+}  // namespace lyric

@@ -1,0 +1,186 @@
+// Abstract syntax of LyriC queries (§4.2 on top of the XSQL core of §2.2).
+//
+// A query is
+//
+//   [CREATE VIEW name AS SUBCLASS OF parent [SIGNATURE a => C, b =>> D]]
+//   SELECT item, ...
+//   FROM Class Var, ...
+//   [OID FUNCTION OF Var, ...]
+//   [WHERE condition]
+//
+// Select items are path expressions, projection formulas
+// ((x1,..,xn) | phi) creating new CST objects, or optimization operators
+// MAX/MIN/MAX_POINT/MIN_POINT(f SUBJECT TO ((x..) | phi)). WHERE
+// conditions combine path-expression predicates, comparisons, the
+// satisfiability predicate SAT(phi) (the paper writes a bare
+// parenthesized formula), and the entailment predicate phi |= psi.
+
+#ifndef LYRIC_QUERY_AST_H_
+#define LYRIC_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+
+namespace lyric {
+namespace ast {
+
+/// An identifier whose meaning (query variable vs. symbolic oid vs.
+/// attribute name) the analyzer resolves, or an already-lexed literal.
+struct NameOrLiteral {
+  enum class Kind { kName, kLiteral };
+  Kind kind = Kind::kName;
+  std::string name;
+  Oid literal;
+
+  static NameOrLiteral Name(std::string n) {
+    NameOrLiteral out;
+    out.kind = Kind::kName;
+    out.name = std::move(n);
+    return out;
+  }
+  static NameOrLiteral Lit(Oid oid) {
+    NameOrLiteral out;
+    out.kind = Kind::kLiteral;
+    out.literal = std::move(oid);
+    return out;
+  }
+};
+
+/// selector0.Attr1[sel1].Attr2[sel2]... (§2.2). The head is a g-selector
+/// (oid) or a v-selector (variable); each step names an attribute (or an
+/// attribute variable) with an optional selector binding the object at
+/// that position.
+struct PathExpr {
+  NameOrLiteral head;
+  struct Step {
+    std::string attribute;  // Attribute name or attribute variable.
+    std::optional<NameOrLiteral> selector;
+  };
+  std::vector<Step> steps;
+
+  std::string ToString() const;
+};
+
+/// Pseudo-linear arithmetic expressions (§4.2): constants, constraint
+/// variables, path expressions denoting numbers, and +,-,*,/ where the
+/// formula is linear once paths are instantiated.
+struct ArithExpr {
+  enum class Kind { kConst, kName, kPath, kAdd, kSub, kMul, kDiv, kNeg };
+  Kind kind = Kind::kConst;
+  Rational constant;                 // kConst
+  std::string name;                  // kName (constraint or query variable)
+  std::unique_ptr<PathExpr> path;    // kPath
+  std::unique_ptr<ArithExpr> lhs;
+  std::unique_ptr<ArithExpr> rhs;    // Unused for kNeg.
+
+  std::string ToString() const;
+};
+
+/// CST formulas: atoms, boolean structure, CST-object predicate uses, and
+/// the projection connector.
+struct Formula {
+  enum class Kind {
+    kAtom, kAnd, kOr, kNot, kPred, kProject, kTrue, kFalse,
+    kExists,  // exists v1, v2 . (phi) — dual of kProject: lists the
+              // quantified variables instead of the kept ones.
+  };
+  Kind kind = Kind::kTrue;
+
+  // kAtom: lhs relop rhs.
+  std::unique_ptr<ArithExpr> atom_lhs;
+  std::unique_ptr<ArithExpr> atom_rhs;
+  std::string relop;  // "=", "!=", "<=", "<", ">=", ">"
+
+  // kAnd / kOr: children; kNot / kProject: children[0].
+  std::vector<std::unique_ptr<Formula>> children;
+
+  // kPred: a CST object used as an interpreted predicate — named by a
+  // query variable or a path expression, with optional explicit dimension
+  // variables O(x1,...,xn); without them the schema names apply (§4.2).
+  std::unique_ptr<PathExpr> pred;
+  std::optional<std::vector<std::string>> pred_args;
+
+  // kProject: ((proj_vars) | children[0]); kExists: the bound variables.
+  std::vector<std::string> proj_vars;
+
+  std::string ToString() const;
+};
+
+/// One SELECT output column.
+struct SelectItem {
+  std::optional<std::string> name;  // SELECT name = expr.
+  enum class Kind { kPath, kFormulaObject, kOptimize };
+  Kind kind = Kind::kPath;
+
+  PathExpr path;  // kPath
+
+  // kFormulaObject: a projection formula creating a CST object.
+  std::unique_ptr<Formula> formula;
+
+  // kOptimize: MAX/MIN/MAX_POINT/MIN_POINT(objective SUBJECT TO formula).
+  enum class OptKind { kMax, kMin, kMaxPoint, kMinPoint };
+  OptKind opt = OptKind::kMax;
+  std::unique_ptr<ArithExpr> objective;  // Formula in `formula`.
+};
+
+/// FROM Class Var.
+struct FromItem {
+  std::string class_name;
+  std::string var;
+};
+
+/// WHERE condition tree.
+struct WhereExpr {
+  enum class Kind {
+    kAnd, kOr, kNot,
+    kPathPred,   // A path expression used as a boolean predicate.
+    kCompare,    // path/literal (=|!=|<|<=|>|>=|CONTAINS) path/literal.
+    kFormulaSat, // SAT(phi).
+    kEntails,    // phi |= psi.
+  };
+  Kind kind = Kind::kAnd;
+  std::vector<std::unique_ptr<WhereExpr>> children;
+
+  PathExpr path;  // kPathPred.
+
+  struct Operand {
+    enum class Kind { kPath, kLiteral } kind = Kind::kLiteral;
+    PathExpr path;
+    Oid literal;
+  };
+  Operand cmp_lhs, cmp_rhs;  // kCompare.
+  std::string cmp_op;
+
+  std::unique_ptr<Formula> formula;   // kFormulaSat.
+  std::unique_ptr<Formula> ent_lhs;   // kEntails.
+  std::unique_ptr<Formula> ent_rhs;
+};
+
+/// SIGNATURE attr => Class (scalar) / attr =>> Class (set-valued).
+struct SignatureItem {
+  std::string attr;
+  bool set_valued = false;
+  std::string target_class;
+};
+
+/// A full query (optionally a view definition).
+struct Query {
+  std::vector<SelectItem> select;
+  std::vector<FromItem> from;
+  std::unique_ptr<WhereExpr> where;          // May be null.
+  std::vector<std::string> oid_function_of;  // Empty = plain result.
+
+  bool is_view = false;
+  std::string view_name;    // May be a query variable (higher-order view).
+  std::string view_parent;  // SUBCLASS OF.
+  std::vector<SignatureItem> signature;
+};
+
+}  // namespace ast
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_AST_H_

@@ -1,0 +1,75 @@
+// Variable bindings during query evaluation.
+//
+// Besides the oid bound to each query variable, a binding remembers two
+// pieces of LyriC-specific context:
+//
+//  * for a variable bound to a CST oid through an attribute path, the
+//    *dimension info*: the display name each dimension carries (the schema
+//    variable name after interface renamings along the path — what a bare
+//    predicate use `E` denotes) and its *identity* (which object's
+//    interface variable it is). Two dimensions with the same identity
+//    appearing in one constraint formula are implicitly equated (§4.1's
+//    "implicit equalities derived from the schema");
+//
+//  * for a variable bound to a structured object, the interface map at
+//    binding time, so that a later path headed at the variable continues
+//    with the renamings already applied (e.g. DSK bound through
+//    O.catalog_object keeps O's (x, y) identities).
+
+#ifndef LYRIC_QUERY_BINDING_H_
+#define LYRIC_QUERY_BINDING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+
+namespace lyric {
+
+/// One dimension of a CST attribute value as seen from the query.
+struct DimInfo {
+  /// The variable name a bare predicate use denotes for this dimension.
+  std::string display;
+  /// Identity key: "<owner oid>.<interface var>" — equal keys are
+  /// implicitly equated inside one formula.
+  std::string identity;
+
+  bool operator==(const DimInfo& o) const {
+    return display == o.display && identity == o.identity;
+  }
+};
+
+/// Interface map of an object: its class's interface variable -> the
+/// display/identity it carries in the current query context.
+using IfaceMap = std::map<std::string, DimInfo>;
+
+/// A (partial) assignment of query variables.
+struct Binding {
+  /// Query variable -> bound oid.
+  std::map<std::string, Oid> vars;
+  /// Attribute variable -> attribute name (higher-order variables).
+  std::map<std::string, std::string> attr_vars;
+  /// For variables bound to CST oids via attribute paths: per-dimension
+  /// display/identity info.
+  std::map<std::string, std::vector<DimInfo>> cst_dims;
+  /// For variables bound to structured objects: the interface map at
+  /// binding time.
+  std::map<std::string, IfaceMap> iface_maps;
+
+  bool Has(const std::string& var) const { return vars.count(var) > 0; }
+
+  /// Orders on the visible assignment only (used to deduplicate result
+  /// bindings).
+  bool operator<(const Binding& o) const {
+    if (vars != o.vars) return vars < o.vars;
+    return attr_vars < o.attr_vars;
+  }
+  bool operator==(const Binding& o) const {
+    return vars == o.vars && attr_vars == o.attr_vars;
+  }
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_BINDING_H_

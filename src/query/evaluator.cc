@@ -1,0 +1,502 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "query/analyzer.h"
+#include "query/formula_builder.h"
+#include "query/parser.h"
+#include "query/path_walker.h"
+
+namespace lyric {
+
+namespace {
+
+constexpr int kMaxWhereDepth = 64;
+
+// Groups walk results by (extended) binding, collecting the tail sets —
+// the "value of a path expression" XSQL compares (§2.2).
+std::map<Binding, std::set<Oid>> GroupWalks(std::vector<PathResult> results) {
+  std::map<Binding, std::set<Oid>> out;
+  for (PathResult& r : results) {
+    out[r.binding].insert(r.tail);
+  }
+  return out;
+}
+
+Result<bool> CompareSets(const std::set<Oid>& lhs, const std::string& op,
+                         const std::set<Oid>& rhs) {
+  if (op == "=") return lhs == rhs;
+  if (op == "!=") return lhs != rhs;
+  if (op == "contains") {
+    return std::includes(lhs.begin(), lhs.end(), rhs.begin(), rhs.end());
+  }
+  // Ordered comparison: both sides must be singletons of comparable kind.
+  if (lhs.size() != 1 || rhs.size() != 1) {
+    return Status::TypeError("ordered comparison '" + op +
+                             "' needs single-valued operands");
+  }
+  const Oid& a = *lhs.begin();
+  const Oid& b = *rhs.begin();
+  int cmp;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    cmp = a.AsNumeric().Compare(b.AsNumeric());
+  } else if (a.kind() == b.kind() &&
+             (a.kind() == OidKind::kString || a.kind() == OidKind::kSymbol)) {
+    cmp = a.AsString().compare(b.AsString());
+  } else {
+    return Status::TypeError("cannot order-compare " + a.ToString() +
+                             " with " + b.ToString());
+  }
+  if (op == "<") return cmp < 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">") return cmp > 0;
+  if (op == ">=") return cmp >= 0;
+  return Status::Internal("bad comparison operator '" + op + "'");
+}
+
+// Maximization over a disjunctive existential body (the SELECT-clause
+// MAX/MIN operator of §4.2 works on existential conjunctive formulas; we
+// accept the disjunctive generalization, taking the best disjunct).
+Result<LpSolution> MaximizeDe(const DisjunctiveExistential& de,
+                              const LinearExpr& objective, bool maximize) {
+  LpSolution best;
+  best.status = LpStatus::kInfeasible;
+  LinearExpr dir = maximize ? objective : -objective;
+  for (const ExistentialConjunction& ec : de.disjuncts()) {
+    ExistentialConjunction fresh = ec.FreshenBound();
+    LYRIC_ASSIGN_OR_RETURN(LpSolution sol,
+                           Simplex::Maximize(dir, fresh.body()));
+    if (sol.status == LpStatus::kInfeasible) continue;
+    if (sol.status == LpStatus::kUnbounded) {
+      best = sol;
+      break;
+    }
+    if (best.status != LpStatus::kOptimal || sol.value > best.value ||
+        (sol.value == best.value && sol.attained && !best.attained)) {
+      best = sol;
+    }
+  }
+  if (best.status == LpStatus::kOptimal && !maximize) {
+    best.value = -best.value;
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
+  LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(query_text));
+  return Execute(query);
+}
+
+Result<std::vector<Binding>> Evaluator::EnumerateFrom(
+    const ast::Query& query) const {
+  std::vector<Binding> bindings{Binding{}};
+  for (const ast::FromItem& item : query.from) {
+    if (!db_->schema().HasClass(item.class_name)) {
+      return Status::NotFound("FROM: unknown class '" + item.class_name +
+                              "'");
+    }
+    std::vector<Oid> extent = db_->Extent(item.class_name);
+    std::vector<Binding> next;
+    next.reserve(bindings.size() * extent.size());
+    for (const Binding& b : bindings) {
+      for (const Oid& oid : extent) {
+        // Repeated FROM variables must agree (consistency, §2.2).
+        auto it = b.vars.find(item.var);
+        if (it != b.vars.end()) {
+          if (it->second == oid) next.push_back(b);
+          continue;
+        }
+        Binding nb = b;
+        nb.vars[item.var] = oid;
+        LYRIC_ASSIGN_OR_RETURN(IfaceMap iface, DefaultIfaceMap(oid, *db_));
+        nb.iface_maps[item.var] = std::move(iface);
+        next.push_back(std::move(nb));
+      }
+    }
+    bindings = std::move(next);
+  }
+  return bindings;
+}
+
+Result<std::vector<Binding>> Evaluator::EvalWhere(
+    const ast::WhereExpr& where, const Binding& binding,
+    const std::set<std::string>& declared, int depth) const {
+  if (depth > kMaxWhereDepth) {
+    return Status::InvalidArgument("WHERE clause nesting too deep");
+  }
+  using Kind = ast::WhereExpr::Kind;
+  switch (where.kind) {
+    case Kind::kAnd: {
+      std::vector<Binding> current{binding};
+      for (const auto& child : where.children) {
+        std::vector<Binding> next;
+        for (const Binding& b : current) {
+          LYRIC_ASSIGN_OR_RETURN(std::vector<Binding> sub,
+                                 EvalWhere(*child, b, declared, depth + 1));
+          for (Binding& nb : sub) next.push_back(std::move(nb));
+        }
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      return current;
+    }
+    case Kind::kOr: {
+      std::vector<Binding> out;
+      for (const auto& child : where.children) {
+        LYRIC_ASSIGN_OR_RETURN(std::vector<Binding> sub,
+                               EvalWhere(*child, binding, declared,
+                                         depth + 1));
+        for (Binding& b : sub) {
+          if (std::find(out.begin(), out.end(), b) == out.end()) {
+            out.push_back(std::move(b));
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kNot: {
+      LYRIC_ASSIGN_OR_RETURN(
+          std::vector<Binding> sub,
+          EvalWhere(*where.children[0], binding, declared, depth + 1));
+      std::vector<Binding> out;
+      if (sub.empty()) out.push_back(binding);
+      return out;
+    }
+    case Kind::kPathPred: {
+      LYRIC_ASSIGN_OR_RETURN(std::vector<PathResult> walks,
+                             WalkPath(where.path, binding, *db_, declared));
+      std::vector<Binding> out;
+      for (PathResult& r : walks) {
+        if (std::find(out.begin(), out.end(), r.binding) == out.end()) {
+          out.push_back(std::move(r.binding));
+        }
+      }
+      return out;
+    }
+    case Kind::kCompare: {
+      // Walk the lhs (may extend the binding), then the rhs under each
+      // lhs extension, and compare tail sets.
+      std::map<Binding, std::set<Oid>> lhs_groups;
+      if (where.cmp_lhs.kind == ast::WhereExpr::Operand::Kind::kLiteral) {
+        lhs_groups[binding] = {where.cmp_lhs.literal};
+      } else {
+        LYRIC_ASSIGN_OR_RETURN(
+            std::vector<PathResult> walks,
+            WalkPath(where.cmp_lhs.path, binding, *db_, declared));
+        lhs_groups = GroupWalks(std::move(walks));
+      }
+      std::vector<Binding> out;
+      for (const auto& [b1, set1] : lhs_groups) {
+        std::map<Binding, std::set<Oid>> rhs_groups;
+        if (where.cmp_rhs.kind == ast::WhereExpr::Operand::Kind::kLiteral) {
+          rhs_groups[b1] = {where.cmp_rhs.literal};
+        } else {
+          LYRIC_ASSIGN_OR_RETURN(
+              std::vector<PathResult> walks,
+              WalkPath(where.cmp_rhs.path, b1, *db_, declared));
+          rhs_groups = GroupWalks(std::move(walks));
+        }
+        for (const auto& [b2, set2] : rhs_groups) {
+          LYRIC_ASSIGN_OR_RETURN(bool holds,
+                                 CompareSets(set1, where.cmp_op, set2));
+          if (holds &&
+              std::find(out.begin(), out.end(), b2) == out.end()) {
+            out.push_back(b2);
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kFormulaSat: {
+      FormulaBuilder fb(db_, &declared);
+      LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential de,
+                             fb.Build(*where.formula, binding));
+      LYRIC_ASSIGN_OR_RETURN(bool sat, de.Satisfiable());
+      std::vector<Binding> out;
+      if (sat) out.push_back(binding);
+      return out;
+    }
+    case Kind::kEntails: {
+      // When both sides are bare predicate uses (the Region pattern
+      // "U |= X"), the dimensions align positionally — a FROM-bound CST
+      // variable carries no schema dimension names.
+      auto resolve_bare = [&](const ast::Formula& f) -> Result<CstObject> {
+        if (f.kind != ast::Formula::Kind::kPred || f.pred_args.has_value()) {
+          return Status::InvalidArgument("not a bare predicate");
+        }
+        LYRIC_ASSIGN_OR_RETURN(std::vector<PathResult> walks,
+                               WalkPath(*f.pred, binding, *db_, declared));
+        if (walks.size() != 1 || !walks[0].tail.IsCst()) {
+          return Status::InvalidArgument("not a single CST value");
+        }
+        return db_->GetCst(walks[0].tail);
+      };
+      Result<CstObject> lhs_obj = resolve_bare(*where.ent_lhs);
+      Result<CstObject> rhs_obj = resolve_bare(*where.ent_rhs);
+      if (lhs_obj.ok() && rhs_obj.ok() &&
+          lhs_obj->Dimension() == rhs_obj->Dimension()) {
+        LYRIC_ASSIGN_OR_RETURN(bool holds, lhs_obj->Entails(*rhs_obj));
+        std::vector<Binding> out;
+        if (holds) out.push_back(binding);
+        return out;
+      }
+      FormulaBuilder fb(db_, &declared);
+      LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential lhs,
+                             fb.Build(*where.ent_lhs, binding));
+      LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential rhs,
+                             fb.Build(*where.ent_rhs, binding));
+      LYRIC_ASSIGN_OR_RETURN(bool holds, lhs.Entails(rhs));
+      std::vector<Binding> out;
+      if (holds) out.push_back(binding);
+      return out;
+    }
+  }
+  return Status::Internal("bad WHERE node");
+}
+
+Result<Oid> Evaluator::EvalOptimize(const ast::SelectItem& item,
+                                    const Binding& binding,
+                                    const std::set<std::string>& declared) {
+  FormulaBuilder fb(db_, &declared);
+  // For a projection body, optimize over the unprojected formula: the
+  // objective may only use the projection variables, and sup over the
+  // projection equals sup over the body.
+  const ast::Formula* body = item.formula.get();
+  if (body->kind == ast::Formula::Kind::kProject) {
+    body = body->children[0].get();
+  }
+  LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential de, fb.Build(*body, binding));
+  LYRIC_ASSIGN_OR_RETURN(LinearExpr objective,
+                         fb.BuildArith(*item.objective, binding));
+  bool maximize = item.opt == ast::SelectItem::OptKind::kMax ||
+                  item.opt == ast::SelectItem::OptKind::kMaxPoint;
+  LYRIC_ASSIGN_OR_RETURN(LpSolution sol, MaximizeDe(de, objective, maximize));
+  if (sol.status == LpStatus::kInfeasible) {
+    return Status::NotFound("MAX/MIN SUBJECT TO: constraints infeasible");
+  }
+  if (sol.status == LpStatus::kUnbounded) {
+    return Status::InvalidArgument(
+        "MAX/MIN SUBJECT TO: objective is unbounded");
+  }
+  if (item.opt == ast::SelectItem::OptKind::kMax ||
+      item.opt == ast::SelectItem::OptKind::kMin) {
+    return Oid::Real(sol.value);
+  }
+  // MAX_POINT / MIN_POINT: the witness as a point CST object over the
+  // objective's variables (plus the projection variables when given).
+  VarSet dims = objective.FreeVars();
+  if (item.formula->kind == ast::Formula::Kind::kProject) {
+    for (const std::string& v : item.formula->proj_vars) {
+      dims.insert(Variable::Intern(v));
+    }
+  }
+  Conjunction point;
+  std::vector<VarId> interface_vars(dims.begin(), dims.end());
+  for (VarId v : interface_vars) {
+    auto it = sol.point.find(v);
+    Rational value = it == sol.point.end() ? Rational(0) : it->second;
+    point.Add(LinearConstraint::Eq(LinearExpr::Var(v),
+                                   LinearExpr::Constant(value)));
+  }
+  LYRIC_ASSIGN_OR_RETURN(CstObject obj,
+                         CstObject::FromConjunction(interface_vars, point));
+  return db_->InternCst(obj);
+}
+
+Result<std::vector<std::vector<Oid>>> Evaluator::EvalSelect(
+    const ast::Query& query, const Binding& binding,
+    const std::set<std::string>& declared) {
+  std::vector<std::vector<Oid>> options_per_item;
+  for (const ast::SelectItem& item : query.select) {
+    std::vector<Oid> options;
+    switch (item.kind) {
+      case ast::SelectItem::Kind::kPath: {
+        LYRIC_ASSIGN_OR_RETURN(std::vector<PathResult> walks,
+                               WalkPath(item.path, binding, *db_, declared));
+        std::set<Oid> tails;
+        for (PathResult& r : walks) tails.insert(std::move(r.tail));
+        options.assign(tails.begin(), tails.end());
+        break;
+      }
+      case ast::SelectItem::Kind::kFormulaObject: {
+        FormulaBuilder fb(db_, &declared);
+        LYRIC_ASSIGN_OR_RETURN(
+            CstObject obj,
+            fb.BuildProjectionObject(*item.formula, binding,
+                                     options_.eager_select_projection));
+        LYRIC_ASSIGN_OR_RETURN(CstObject canon,
+                               obj.Canonicalize(options_.canonical_level));
+        LYRIC_ASSIGN_OR_RETURN(Oid oid, db_->InternCst(canon));
+        options.push_back(std::move(oid));
+        break;
+      }
+      case ast::SelectItem::Kind::kOptimize: {
+        Result<Oid> oid = EvalOptimize(item, binding, declared);
+        if (!oid.ok()) {
+          if (oid.status().IsNotFound()) break;  // Infeasible: no row.
+          return oid.status();
+        }
+        options.push_back(std::move(oid).value());
+        break;
+      }
+    }
+    if (options.empty()) return std::vector<std::vector<Oid>>{};
+    options_per_item.push_back(std::move(options));
+  }
+  // Cartesian product across items.
+  std::vector<std::vector<Oid>> rows{{}};
+  for (const std::vector<Oid>& options : options_per_item) {
+    std::vector<std::vector<Oid>> next;
+    next.reserve(rows.size() * options.size());
+    for (const std::vector<Oid>& row : rows) {
+      for (const Oid& oid : options) {
+        std::vector<Oid> extended = row;
+        extended.push_back(oid);
+        next.push_back(std::move(extended));
+        if (next.size() > options_.max_rows) {
+          return Status::InvalidArgument("result exceeds max_rows");
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+  return rows;
+}
+
+Status Evaluator::MaterializeView(const ast::Query& query,
+                                  const Binding& binding,
+                                  const std::vector<Oid>& row) {
+  // Resolve the class name: a view named by a bound query variable (the
+  // higher-order Region pattern) makes one class per binding.
+  std::string class_name = query.view_name;
+  auto vit = binding.vars.find(query.view_name);
+  if (vit != binding.vars.end()) {
+    class_name = vit->second.ToString();
+  }
+  if (!db_->schema().HasClass(class_name)) {
+    ClassDef def;
+    def.name = class_name;
+    def.parents = {query.view_parent};
+    for (const ast::SignatureItem& sig : query.signature) {
+      def.attributes.push_back(
+          AttributeDef{sig.attr, sig.set_valued, sig.target_class, {}});
+    }
+    // Named select items missing from the signature get inferred targets.
+    for (size_t i = 0; i < query.select.size() && i < row.size(); ++i) {
+      if (!query.select[i].name.has_value()) continue;
+      const std::string& attr = *query.select[i].name;
+      bool in_sig = false;
+      for (const auto& a : def.attributes) {
+        if (a.name == attr) in_sig = true;
+      }
+      if (in_sig) continue;
+      std::string target;
+      const Oid& v = row[i];
+      switch (v.kind()) {
+        case OidKind::kInt: target = kIntClass; break;
+        case OidKind::kReal: target = kRealClass; break;
+        case OidKind::kString: target = kStringClass; break;
+        case OidKind::kBool: target = kBoolClass; break;
+        case OidKind::kCst: {
+          LYRIC_ASSIGN_OR_RETURN(CstObject obj, db_->GetCst(v));
+          target = CstClassName(obj.Dimension());
+          break;
+        }
+        default: {
+          Result<std::string> cls = db_->ClassOf(v);
+          target = cls.ok() ? *cls : std::string(kStringClass);
+          break;
+        }
+      }
+      def.attributes.push_back(AttributeDef{attr, false, target, {}});
+    }
+    LYRIC_RETURN_NOT_OK(db_->schema().AddClass(def));
+    created_classes_.push_back(class_name);
+  }
+  // The instance oid: the OID FUNCTION result, or the single selected oid.
+  Oid instance;
+  if (!query.oid_function_of.empty()) {
+    std::vector<Oid> args;
+    for (const std::string& var : query.oid_function_of) {
+      auto it = binding.vars.find(var);
+      if (it == binding.vars.end()) {
+        return Status::InvalidArgument("OID FUNCTION OF: variable '" + var +
+                                       "' is unbound");
+      }
+      args.push_back(it->second);
+    }
+    instance = Oid::Func(class_name, std::move(args));
+  } else if (row.size() == 1) {
+    instance = row[0];
+  } else {
+    instance = Oid::Func(class_name, row);
+  }
+  if (db_->HasObject(instance)) {
+    LYRIC_RETURN_NOT_OK(db_->AddInstanceOf(instance, class_name));
+  } else if (instance.kind() == OidKind::kCst) {
+    LYRIC_RETURN_NOT_OK(db_->AddInstanceOf(instance, class_name));
+  } else {
+    LYRIC_RETURN_NOT_OK(db_->Insert(instance, class_name));
+    for (size_t i = 0; i < query.select.size() && i < row.size(); ++i) {
+      if (!query.select[i].name.has_value()) continue;
+      LYRIC_RETURN_NOT_OK(db_->SetAttribute(instance, *query.select[i].name,
+                                            Value::Scalar(row[i])));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
+  created_classes_.clear();
+  if (options_.analyze_first) {
+    Analyzer analyzer(db_);
+    LYRIC_RETURN_NOT_OK(analyzer.Analyze(query).status());
+  }
+  std::set<std::string> declared = CollectDeclaredVars(query, *db_);
+
+  // Column names.
+  std::vector<std::string> columns;
+  for (const ast::SelectItem& item : query.select) {
+    if (item.name.has_value()) {
+      columns.push_back(*item.name);
+    } else if (item.kind == ast::SelectItem::Kind::kPath) {
+      columns.push_back(item.path.ToString());
+    } else if (item.kind == ast::SelectItem::Kind::kFormulaObject) {
+      columns.push_back("cst");
+    } else {
+      columns.push_back("opt");
+    }
+  }
+  ResultSet out(std::move(columns));
+
+  LYRIC_ASSIGN_OR_RETURN(std::vector<Binding> bindings, EnumerateFrom(query));
+  for (const Binding& base : bindings) {
+    std::vector<Binding> survivors{base};
+    if (query.where) {
+      LYRIC_ASSIGN_OR_RETURN(survivors,
+                             EvalWhere(*query.where, base, declared, 0));
+    }
+    // Deduplicate extensions.
+    std::sort(survivors.begin(), survivors.end());
+    survivors.erase(std::unique(survivors.begin(), survivors.end()),
+                    survivors.end());
+    for (const Binding& b : survivors) {
+      LYRIC_ASSIGN_OR_RETURN(std::vector<std::vector<Oid>> rows,
+                             EvalSelect(query, b, declared));
+      for (std::vector<Oid>& row : rows) {
+        if (query.is_view) {
+          LYRIC_RETURN_NOT_OK(MaterializeView(query, b, row));
+        }
+        out.AddRow(std::move(row));
+        if (out.size() > options_.max_rows) {
+          return Status::InvalidArgument("result exceeds max_rows");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lyric

@@ -1,0 +1,84 @@
+// The LyriC query evaluator — the paper's "naive implementation" (§5),
+// operating directly on the object database.
+//
+// Evaluation follows the formal XSQL semantics of §2.2: FROM variables
+// range over class extents; WHERE is evaluated per substitution, with
+// path-expression predicates extending the substitution at bracket
+// selectors (a pragmatic left-to-right binding order — bind a variable
+// via FROM or an earlier conjunct before using it); SELECT items are
+// evaluated under each surviving substitution, constructing new CST
+// objects for projection formulas and running exact LPs for MAX/MIN.
+// CREATE VIEW materializes the result as a new subclass (higher-order
+// class variables supported: a view named by a FROM variable creates one
+// class per binding of that variable).
+
+#ifndef LYRIC_QUERY_EVALUATOR_H_
+#define LYRIC_QUERY_EVALUATOR_H_
+
+#include "constraint/canonical.h"
+#include "object/database.h"
+#include "query/ast.h"
+#include "query/binding.h"
+#include "query/result_set.h"
+
+namespace lyric {
+
+/// Evaluator knobs.
+struct EvalOptions {
+  /// Materialize SELECT projections by quantifier elimination (prints the
+  /// simplified constraints the paper shows). Turn off to keep lazy
+  /// existential bodies — constant-time projection, opaque output.
+  bool eager_select_projection = true;
+  /// Canonicalization level for created CST objects. The default runs the
+  /// [BJM93] conjunctive canonical form including LP-based redundant-atom
+  /// removal, matching the simplified answers the paper prints; kCheap
+  /// skips the per-atom LP calls (bench/bench_canonical quantifies the
+  /// trade).
+  CanonicalLevel canonical_level = CanonicalLevel::kRedundancy;
+  /// Safety valve on result size.
+  size_t max_rows = 1000000;
+  /// Run the static analyzer before evaluating: schema typos and
+  /// bind-before-use mistakes fail fast with positioned messages instead
+  /// of surfacing mid-evaluation. Off by default so that exploratory
+  /// queries over half-built schemas still run.
+  bool analyze_first = false;
+};
+
+/// Executes LyriC queries against a Database.
+class Evaluator {
+ public:
+  explicit Evaluator(Database* db, EvalOptions options = EvalOptions())
+      : db_(db), options_(options) {}
+
+  /// Parses and executes.
+  Result<ResultSet> Execute(const std::string& query_text);
+  /// Executes a parsed query.
+  Result<ResultSet> Execute(const ast::Query& query);
+
+  /// Names of classes the last CREATE VIEW created.
+  const std::vector<std::string>& created_classes() const {
+    return created_classes_;
+  }
+
+ private:
+  Result<std::vector<Binding>> EnumerateFrom(const ast::Query& query) const;
+  Result<std::vector<Binding>> EvalWhere(const ast::WhereExpr& where,
+                                         const Binding& binding,
+                                         const std::set<std::string>& declared,
+                                         int depth) const;
+  Result<std::vector<std::vector<Oid>>> EvalSelect(
+      const ast::Query& query, const Binding& binding,
+      const std::set<std::string>& declared);
+  Result<Oid> EvalOptimize(const ast::SelectItem& item, const Binding& binding,
+                           const std::set<std::string>& declared);
+  Status MaterializeView(const ast::Query& query, const Binding& binding,
+                         const std::vector<Oid>& row);
+
+  Database* db_;
+  EvalOptions options_;
+  std::vector<std::string> created_classes_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_EVALUATOR_H_

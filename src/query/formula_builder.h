@@ -1,0 +1,77 @@
+// Instantiation of CST formulas (§4.2) under a variable binding.
+//
+// A formula's pseudo-linear atoms become linear constraints once bound
+// query variables and number-valued paths are replaced by constants; a
+// predicate use O or O(x1,..,xn) splices in the CST object's constraint
+// with its interface renamed to the given (or schema-derived) variables;
+// the projection connector maps onto DisjunctiveExistential::Project.
+//
+// Implicit equalities: while building, every predicate dimension reports
+// (identity key, query variable); at the top level and at each projection
+// boundary, dimensions sharing an identity but named differently are
+// equated — reproducing §4.1's p = x1 and q = y1.
+
+#ifndef LYRIC_QUERY_FORMULA_BUILDER_H_
+#define LYRIC_QUERY_FORMULA_BUILDER_H_
+
+#include <set>
+
+#include "constraint/cst_object.h"
+#include "object/database.h"
+#include "query/ast.h"
+#include "query/binding.h"
+
+namespace lyric {
+
+/// Formula instantiation entry points. Stateless; all context rides in.
+class FormulaBuilder {
+ public:
+  FormulaBuilder(Database* db, const std::set<std::string>* declared)
+      : db_(db), declared_(declared) {}
+
+  /// Builds the formula into a disjunctive existential constraint over
+  /// the formula's constraint variables (implicit equalities applied).
+  Result<DisjunctiveExistential> Build(const ast::Formula& formula,
+                                       const Binding& binding) const;
+
+  /// Builds a top-level projection formula ((x1..xn) | phi) into a CST
+  /// object with interface (x1..xn). With `eager`, quantifier elimination
+  /// materializes the projected constraint (the form the paper prints);
+  /// otherwise the projection is absorbed into the existential family.
+  Result<CstObject> BuildProjectionObject(const ast::Formula& formula,
+                                          const Binding& binding,
+                                          bool eager) const;
+
+  /// Instantiates a pseudo-linear arithmetic expression: bound query
+  /// variables and paths must denote numbers; remaining names are
+  /// constraint variables; after substitution the result must be linear.
+  Result<LinearExpr> BuildArith(const ast::ArithExpr& expr,
+                                const Binding& binding) const;
+
+ private:
+  struct IdentityUses {
+    // identity key -> constraint variable names used for it.
+    std::map<std::string, std::set<std::string>> uses;
+    void Merge(const IdentityUses& o) {
+      for (const auto& [k, names] : o.uses) {
+        uses[k].insert(names.begin(), names.end());
+      }
+    }
+  };
+
+  Result<DisjunctiveExistential> BuildNode(const ast::Formula& formula,
+                                           const Binding& binding,
+                                           IdentityUses* ids) const;
+  Result<DisjunctiveExistential> BuildPred(const ast::Formula& formula,
+                                           const Binding& binding,
+                                           IdentityUses* ids) const;
+  static DisjunctiveExistential ApplyIdentityEqualities(
+      DisjunctiveExistential de, const IdentityUses& ids);
+
+  Database* db_;
+  const std::set<std::string>* declared_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_FORMULA_BUILDER_H_

@@ -1,0 +1,19 @@
+// Lexer for the LyriC text syntax.
+
+#ifndef LYRIC_QUERY_LEXER_H_
+#define LYRIC_QUERY_LEXER_H_
+
+#include <vector>
+
+#include "query/token.h"
+#include "util/result.h"
+
+namespace lyric {
+
+/// Tokenizes `text`; the result always ends with a kEnd token. Comments
+/// run from "--" to end of line.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_LEXER_H_

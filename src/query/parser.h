@@ -1,0 +1,47 @@
+// Recursive-descent parser for the LyriC text syntax.
+//
+// Grammar sketch (see ast.h for the shapes):
+//
+//   query    := [CREATE VIEW ident AS SUBCLASS OF ident]
+//               SELECT item (',' item)*
+//               [SIGNATURE attr (=>|=>>) class (',' ...)*]
+//               FROM class var (',' class var)*
+//               [OID FUNCTION OF var (',' var)*]
+//               [WHERE cond]
+//   item     := [ident '='] (optimize | projection | path)
+//   optimize := (MAX|MIN|MAX_POINT|MIN_POINT) '(' arith SUBJECT TO formula ')'
+//   projection := '(' '(' var (',' var)* ')' '|' formula ')'
+//   cond     := or-tree of: SAT '(' formula ')', formula '|=' formula,
+//               path, operand cmp operand, '(' cond ')', NOT cond
+//   formula  := or/and/not tree of atoms (chained comparisons allowed:
+//               0 <= x <= 10), predicate uses O or O(x1,..,xn) where O is
+//               a variable or a path expression, and projections
+//   path     := selector ('.' attr ['[' selector ']'])*
+//
+// Keywords are case-insensitive. The paper's bare-parenthesized WHERE
+// constraint test is written SAT(...) here; its |= predicate is verbatim.
+
+#ifndef LYRIC_QUERY_PARSER_H_
+#define LYRIC_QUERY_PARSER_H_
+
+#include "query/ast.h"
+#include "query/token.h"
+#include "util/result.h"
+
+namespace lyric {
+
+/// Parses one LyriC query (optionally terminated by ';').
+Result<ast::Query> ParseQuery(const std::string& text);
+
+/// Parses a standalone CST formula — handy for tests and the API.
+Result<ast::Formula> ParseFormula(const std::string& text);
+
+/// Parses one formula from a token stream starting at *pos, advancing
+/// *pos past it (used by the storage layer to embed constraint bodies in
+/// larger grammars).
+Result<ast::Formula> ParseFormulaPrefix(const std::vector<Token>& tokens,
+                                        size_t* pos);
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_PARSER_H_

@@ -1,0 +1,53 @@
+// Path-expression evaluation (§2.2): enumerating the database paths that
+// satisfy ground instances of a path expression, extending bindings at
+// bracket selectors, and threading interface renamings for the implicit
+// schema equalities.
+
+#ifndef LYRIC_QUERY_PATH_WALKER_H_
+#define LYRIC_QUERY_PATH_WALKER_H_
+
+#include <set>
+
+#include "object/database.h"
+#include "query/ast.h"
+#include "query/binding.h"
+
+namespace lyric {
+
+/// One satisfying walk of a path expression.
+struct PathResult {
+  Binding binding;  // Input binding possibly extended at selectors.
+  Oid tail;         // The object at the end of the database path.
+  /// Dimension info when the tail was reached through a CST attribute.
+  std::vector<DimInfo> tail_dims;
+};
+
+/// Walks `path` in `db` under `binding`. `db` is mutable because path
+/// steps may invoke 0-ary methods ("an attribute is regarded as a 0-ary
+/// method", §2.1), and constraint-producing methods intern their results. `declared` is the set of names
+/// that are query variables (FROM variables, bracket-bound variables,
+/// view header variables): an identifier outside it denotes a symbolic
+/// oid (g-selector) or a literal attribute name.
+///
+/// Unbound declared variables in head position are an error (bind them
+/// via FROM or an earlier predicate); unbound variables in bracket
+/// selectors and unbound attribute variables enumerate.
+Result<std::vector<PathResult>> WalkPath(const ast::PathExpr& path,
+                                         const Binding& binding,
+                                         Database& db,
+                                         const std::set<std::string>& declared);
+
+/// Collects every variable name a query declares: FROM variables, bracket
+/// selector identifiers, and the view-name variable when it is not an
+/// existing class.
+std::set<std::string> CollectDeclaredVars(const ast::Query& query,
+                                          const Database& db);
+
+/// The default interface map of an object reached directly (not through a
+/// renaming attribute): each interface variable of its class maps to
+/// itself with identity "<oid>.<var>".
+Result<IfaceMap> DefaultIfaceMap(const Oid& oid, const Database& db);
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_PATH_WALKER_H_

@@ -1,0 +1,48 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+
+namespace lyric {
+
+void ResultSet::AddRow(std::vector<Oid> row) {
+  for (const std::vector<Oid>& existing : rows_) {
+    if (existing == row) return;
+  }
+  rows_.push_back(std::move(row));
+}
+
+bool ResultSet::ContainsOid(const Oid& oid) const {
+  for (const std::vector<Oid>& row : rows_) {
+    if (!row.empty() && row[0] == oid) return true;
+  }
+  return false;
+}
+
+std::vector<Oid> ResultSet::Column(size_t idx) const {
+  std::vector<Oid> out;
+  for (const std::vector<Oid>& row : rows_) {
+    if (idx < row.size()) out.push_back(row[idx]);
+  }
+  return out;
+}
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i];
+  }
+  out += "\n";
+  for (const std::vector<Oid>& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows_.size()) + " row" +
+         (rows_.size() == 1 ? "" : "s") + ")";
+  return out;
+}
+
+}  // namespace lyric

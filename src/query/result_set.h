@@ -1,0 +1,47 @@
+// Query results: a relation of oids (§2.2), optionally materialized into
+// new objects via OID FUNCTION OF.
+
+#ifndef LYRIC_QUERY_RESULT_SET_H_
+#define LYRIC_QUERY_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+
+namespace lyric {
+
+/// A query result: named columns over rows of oids. Rows are deduplicated
+/// (the answer of a query is a set).
+class ResultSet {
+ public:
+  explicit ResultSet(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+  ResultSet() = default;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Oid>>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row unless an identical one is present.
+  void AddRow(std::vector<Oid> row);
+
+  /// True if some row's first column equals `oid` (convenience for
+  /// single-column results).
+  bool ContainsOid(const Oid& oid) const;
+
+  /// All values of column `idx` in row order.
+  std::vector<Oid> Column(size_t idx) const;
+
+  /// Tabular rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Oid>> rows_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_RESULT_SET_H_

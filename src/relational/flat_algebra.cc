@@ -1,0 +1,222 @@
+#include "relational/flat_algebra.h"
+
+#include <unordered_map>
+
+namespace lyric {
+
+namespace {
+
+Result<bool> CompareOids(const Oid& a, const std::string& op, const Oid& b) {
+  if (op == "=") return a == b;
+  if (op == "!=") return a != b;
+  int cmp;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    cmp = a.AsNumeric().Compare(b.AsNumeric());
+  } else if (a.kind() == b.kind() &&
+             (a.kind() == OidKind::kString || a.kind() == OidKind::kSymbol)) {
+    cmp = a.AsString().compare(b.AsString());
+  } else {
+    return Status::TypeError("cannot order-compare " + a.ToString() +
+                             " with " + b.ToString());
+  }
+  if (op == "<") return cmp < 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">") return cmp > 0;
+  if (op == ">=") return cmp >= 0;
+  return Status::InvalidArgument("unknown comparison operator '" + op + "'");
+}
+
+}  // namespace
+
+Result<FlatRelation> FlatAlgebra::SelectConst(const FlatRelation& rel,
+                                              const std::string& col,
+                                              const std::string& op,
+                                              const Oid& value) {
+  LYRIC_ASSIGN_OR_RETURN(size_t idx, rel.ColumnIndex(col));
+  FlatRelation out(rel.columns());
+  for (const auto& t : rel.tuples()) {
+    LYRIC_ASSIGN_OR_RETURN(bool keep, CompareOids(t[idx], op, value));
+    if (keep) LYRIC_RETURN_NOT_OK(out.Add(t));
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::SelectCols(const FlatRelation& rel,
+                                             const std::string& col1,
+                                             const std::string& op,
+                                             const std::string& col2) {
+  LYRIC_ASSIGN_OR_RETURN(size_t i1, rel.ColumnIndex(col1));
+  LYRIC_ASSIGN_OR_RETURN(size_t i2, rel.ColumnIndex(col2));
+  FlatRelation out(rel.columns());
+  for (const auto& t : rel.tuples()) {
+    LYRIC_ASSIGN_OR_RETURN(bool keep, CompareOids(t[i1], op, t[i2]));
+    if (keep) LYRIC_RETURN_NOT_OK(out.Add(t));
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::Product(const FlatRelation& a,
+                                          const FlatRelation& b) {
+  std::vector<std::string> cols = a.columns();
+  for (const std::string& c : b.columns()) {
+    for (const std::string& existing : a.columns()) {
+      if (c == existing) {
+        return Status::InvalidArgument("Product: column clash on '" + c +
+                                       "'; prefix one side");
+      }
+    }
+    cols.push_back(c);
+  }
+  FlatRelation out(std::move(cols));
+  for (const auto& ta : a.tuples()) {
+    for (const auto& tb : b.tuples()) {
+      std::vector<Oid> t = ta;
+      t.insert(t.end(), tb.begin(), tb.end());
+      LYRIC_RETURN_NOT_OK(out.Add(std::move(t)));
+    }
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::Join(const FlatRelation& a,
+                                       const std::string& lcol,
+                                       const FlatRelation& b,
+                                       const std::string& rcol) {
+  LYRIC_ASSIGN_OR_RETURN(size_t li, a.ColumnIndex(lcol));
+  LYRIC_ASSIGN_OR_RETURN(size_t ri, b.ColumnIndex(rcol));
+  std::vector<std::string> cols = a.columns();
+  for (const std::string& c : b.columns()) {
+    for (const std::string& existing : a.columns()) {
+      if (c == existing) {
+        return Status::InvalidArgument("Join: column clash on '" + c +
+                                       "'; prefix one side");
+      }
+    }
+    cols.push_back(c);
+  }
+  // Hash the smaller side.
+  std::unordered_multimap<Oid, const std::vector<Oid>*, OidHash> index;
+  index.reserve(b.tuples().size());
+  for (const auto& tb : b.tuples()) {
+    index.emplace(tb[ri], &tb);
+  }
+  FlatRelation out(std::move(cols));
+  for (const auto& ta : a.tuples()) {
+    auto [lo, hi] = index.equal_range(ta[li]);
+    for (auto it = lo; it != hi; ++it) {
+      std::vector<Oid> t = ta;
+      t.insert(t.end(), it->second->begin(), it->second->end());
+      LYRIC_RETURN_NOT_OK(out.Add(std::move(t)));
+    }
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::Project(
+    const FlatRelation& rel, const std::vector<std::string>& cols) {
+  std::vector<size_t> idx;
+  for (const std::string& c : cols) {
+    LYRIC_ASSIGN_OR_RETURN(size_t i, rel.ColumnIndex(c));
+    idx.push_back(i);
+  }
+  FlatRelation out(cols);
+  for (const auto& t : rel.tuples()) {
+    std::vector<Oid> p;
+    p.reserve(idx.size());
+    for (size_t i : idx) p.push_back(t[i]);
+    LYRIC_RETURN_NOT_OK(out.Add(std::move(p)));
+  }
+  out.Dedupe();
+  return out;
+}
+
+Result<DisjunctiveExistential> FlatAlgebra::BuildBody(
+    const std::vector<Oid>& tuple, const FlatRelation& rel,
+    const Database& db, const std::vector<CstColumnUse>& uses,
+    const Conjunction& extra) {
+  DisjunctiveExistential body = DisjunctiveExistential::FromConjunction(extra);
+  for (const CstColumnUse& use : uses) {
+    LYRIC_ASSIGN_OR_RETURN(size_t idx, rel.ColumnIndex(use.column));
+    const Oid& oid = tuple[idx];
+    if (!oid.IsCst()) {
+      return Status::TypeError("column '" + use.column + "' holds " +
+                               oid.ToString() + ", not a CST oid");
+    }
+    LYRIC_ASSIGN_OR_RETURN(CstObject obj, db.GetCst(oid));
+    std::vector<VarId> target;
+    for (const std::string& v : use.dim_vars) {
+      target.push_back(Variable::Intern(v));
+    }
+    LYRIC_ASSIGN_OR_RETURN(CstObject renamed, obj.RenameTo(target));
+    body = body.And(renamed.Body());
+  }
+  return body;
+}
+
+Result<FlatRelation> FlatAlgebra::SelectCstSat(
+    const FlatRelation& rel, const Database& db,
+    const std::vector<CstColumnUse>& uses, const Conjunction& extra) {
+  FlatRelation out(rel.columns());
+  for (const auto& t : rel.tuples()) {
+    LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential body,
+                           BuildBody(t, rel, db, uses, extra));
+    LYRIC_ASSIGN_OR_RETURN(bool sat, body.Satisfiable());
+    if (sat) LYRIC_RETURN_NOT_OK(out.Add(t));
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::SelectCstEntails(
+    const FlatRelation& rel, const Database& db,
+    const std::vector<CstColumnUse>& lhs_uses, const Conjunction& lhs_extra,
+    const std::vector<CstColumnUse>& rhs_uses,
+    const Conjunction& rhs_extra) {
+  FlatRelation out(rel.columns());
+  for (const auto& t : rel.tuples()) {
+    LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential lhs,
+                           BuildBody(t, rel, db, lhs_uses, lhs_extra));
+    LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential rhs,
+                           BuildBody(t, rel, db, rhs_uses, rhs_extra));
+    LYRIC_ASSIGN_OR_RETURN(bool holds, lhs.Entails(rhs));
+    if (holds) LYRIC_RETURN_NOT_OK(out.Add(t));
+  }
+  return out;
+}
+
+Result<FlatRelation> FlatAlgebra::ConstructCst(
+    const FlatRelation& rel, Database* db,
+    const std::vector<CstColumnUse>& uses, const Conjunction& extra,
+    const std::vector<std::string>& interface_vars,
+    const std::string& new_column, bool eager) {
+  std::vector<std::string> cols = rel.columns();
+  cols.push_back(new_column);
+  FlatRelation out(std::move(cols));
+  std::vector<VarId> iface;
+  VarSet keep;
+  for (const std::string& v : interface_vars) {
+    VarId id = Variable::Intern(v);
+    iface.push_back(id);
+    keep.insert(id);
+  }
+  for (const auto& t : rel.tuples()) {
+    LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential body,
+                           BuildBody(t, rel, *db, uses, extra));
+    CstObject obj;
+    if (eager) {
+      DisjunctiveExistential projected = body.Project(keep);
+      LYRIC_ASSIGN_OR_RETURN(Dnf dnf, projected.ToDnf());
+      LYRIC_ASSIGN_OR_RETURN(Dnf simplified,
+                             Canonical::Simplify(dnf, CanonicalLevel::kCheap));
+      LYRIC_ASSIGN_OR_RETURN(obj, CstObject::FromDnf(iface, simplified));
+    } else {
+      LYRIC_ASSIGN_OR_RETURN(obj, CstObject::Make(iface, body.Project(keep)));
+    }
+    LYRIC_ASSIGN_OR_RETURN(Oid oid, db->InternCst(obj));
+    std::vector<Oid> extended = t;
+    extended.push_back(std::move(oid));
+    LYRIC_RETURN_NOT_OK(out.Add(std::move(extended)));
+  }
+  return out;
+}
+
+}  // namespace lyric

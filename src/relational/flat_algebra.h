@@ -1,0 +1,93 @@
+// Relational operators over flat constraint relations — "SQL with linear
+// constraints" (§5, following [BJM93]/[KKR93]).
+//
+// Plain operators (scan, select, join, project) treat CST oids as opaque
+// values; the constraint-aware operators resolve CST columns against the
+// originating database and run the constraint engine per tuple:
+// satisfiability selection, entailment selection, and construction of new
+// CST objects (the SELECT-clause projection formulas).
+
+#ifndef LYRIC_RELATIONAL_FLAT_ALGEBRA_H_
+#define LYRIC_RELATIONAL_FLAT_ALGEBRA_H_
+
+#include "constraint/cst_object.h"
+#include "object/database.h"
+#include "relational/flat_relation.h"
+
+namespace lyric {
+
+/// One CST column use inside a constraint-aware operator: the column
+/// holding the CST oid plus the variable names its dimensions take.
+struct CstColumnUse {
+  std::string column;
+  std::vector<std::string> dim_vars;
+};
+
+/// Stateless relational operators.
+class FlatAlgebra {
+ public:
+  /// Tuples where column `col` relates to the constant by `op`
+  /// (=, !=, <, <=, >, >= — ordered ops require numeric or string oids).
+  static Result<FlatRelation> SelectConst(const FlatRelation& rel,
+                                          const std::string& col,
+                                          const std::string& op,
+                                          const Oid& value);
+
+  /// Tuples where two columns relate by `op`.
+  static Result<FlatRelation> SelectCols(const FlatRelation& rel,
+                                         const std::string& col1,
+                                         const std::string& op,
+                                         const std::string& col2);
+
+  /// Cartesian product (columns must not clash; use WithPrefix).
+  static Result<FlatRelation> Product(const FlatRelation& a,
+                                      const FlatRelation& b);
+
+  /// Equi-join on a.lcol = b.rcol (hash join; columns must not clash).
+  static Result<FlatRelation> Join(const FlatRelation& a,
+                                   const std::string& lcol,
+                                   const FlatRelation& b,
+                                   const std::string& rcol);
+
+  /// Projection onto `cols` (duplicates removed).
+  static Result<FlatRelation> Project(const FlatRelation& rel,
+                                      const std::vector<std::string>& cols);
+
+  /// Constraint satisfiability selection: keep tuples where the
+  /// conjunction of the used CST objects (interfaces renamed to their
+  /// dim_vars) and `extra` is satisfiable.
+  static Result<FlatRelation> SelectCstSat(const FlatRelation& rel,
+                                           const Database& db,
+                                           const std::vector<CstColumnUse>&
+                                               uses,
+                                           const Conjunction& extra);
+
+  /// Entailment selection: keep tuples where (lhs uses + lhs_extra)
+  /// entails (rhs uses + rhs_extra), both as disjunctive existentials.
+  static Result<FlatRelation> SelectCstEntails(
+      const FlatRelation& rel, const Database& db,
+      const std::vector<CstColumnUse>& lhs_uses, const Conjunction& lhs_extra,
+      const std::vector<CstColumnUse>& rhs_uses,
+      const Conjunction& rhs_extra);
+
+  /// Appends a CST column: for each tuple, the object
+  /// ((interface_vars) | conj of uses and extra), interned into `db`.
+  /// `eager` materializes the projection by quantifier elimination.
+  static Result<FlatRelation> ConstructCst(
+      const FlatRelation& rel, Database* db,
+      const std::vector<CstColumnUse>& uses, const Conjunction& extra,
+      const std::vector<std::string>& interface_vars,
+      const std::string& new_column, bool eager);
+
+ private:
+  /// Conjunction of the used CST bodies (renamed) and `extra`, as a
+  /// disjunctive existential.
+  static Result<DisjunctiveExistential> BuildBody(
+      const std::vector<Oid>& tuple, const FlatRelation& rel,
+      const Database& db, const std::vector<CstColumnUse>& uses,
+      const Conjunction& extra);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_RELATIONAL_FLAT_ALGEBRA_H_

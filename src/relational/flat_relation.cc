@@ -1,0 +1,58 @@
+#include "relational/flat_relation.h"
+
+#include <algorithm>
+
+namespace lyric {
+
+Result<size_t> FlatRelation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound("relation has no column '" + name + "'");
+}
+
+Status FlatRelation::Add(std::vector<Oid> tuple) {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match relation arity " + std::to_string(columns_.size()));
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+void FlatRelation::Dedupe() {
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+FlatRelation FlatRelation::WithPrefix(const std::string& prefix) const {
+  std::vector<std::string> cols;
+  cols.reserve(columns_.size());
+  for (const std::string& c : columns_) cols.push_back(prefix + c);
+  FlatRelation out(std::move(cols));
+  for (const auto& t : tuples_) {
+    (void)out.Add(t);
+  }
+  return out;
+}
+
+std::string FlatRelation::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i];
+  }
+  out += "\n";
+  for (const auto& t : tuples_) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += t[i].ToString();
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(tuples_.size()) + " tuples)";
+  return out;
+}
+
+}  // namespace lyric

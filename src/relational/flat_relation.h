@@ -1,0 +1,60 @@
+// Flat constraint relations — the target of the §5 translation.
+//
+// "The definition of a database in LyriC as a general structure means
+// that it is essentially a collection of flat relations. ... We next join
+// the class relations, the single-valued attribute relations, and the
+// multi-valued attribute relations (after unnesting them) together,
+// obtaining a flat relation for each class in the database."
+//
+// A FlatRelation is a bag of fixed-arity tuples of oids. CST-valued
+// columns hold CST oids, so the relations are exactly the "SQL with
+// constraints" relations of [BJM93]/[KKR93] that give LyriC its PTIME
+// data complexity.
+
+#ifndef LYRIC_RELATIONAL_FLAT_RELATION_H_
+#define LYRIC_RELATIONAL_FLAT_RELATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "object/oid.h"
+#include "util/result.h"
+
+namespace lyric {
+
+/// A named-column relation of oids.
+class FlatRelation {
+ public:
+  FlatRelation() = default;
+  explicit FlatRelation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Oid>>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Index of a column; NotFound for unknown names.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a tuple; arity must match.
+  Status Add(std::vector<Oid> tuple);
+
+  /// Removes duplicate tuples (relations are sets).
+  void Dedupe();
+
+  /// Renames every column with a prefix ("D1." + name) — used when
+  /// joining a relation with itself.
+  FlatRelation WithPrefix(const std::string& prefix) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Oid>> tuples_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_RELATIONAL_FLAT_RELATION_H_

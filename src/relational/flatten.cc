@@ -1,0 +1,71 @@
+#include "relational/flatten.h"
+
+namespace lyric {
+
+Result<FlatDatabase> FlatDatabase::Flatten(const Database& db) {
+  FlatDatabase out;
+  out.origin_ = &db;
+  for (const std::string& cls : db.schema().ClassNames()) {
+    LYRIC_ASSIGN_OR_RETURN(std::vector<const AttributeDef*> attrs,
+                           db.schema().AllAttributes(cls));
+    std::vector<std::string> columns{"oid"};
+    for (const AttributeDef* a : attrs) columns.push_back(a->name);
+    FlatRelation rel(columns);
+    for (const Oid& oid : db.Extent(cls)) {
+      // Unnest: start with the oid column and extend per attribute,
+      // multiplying rows for set-valued attributes.
+      std::vector<std::vector<Oid>> rows{{oid}};
+      bool total = true;
+      for (const AttributeDef* a : attrs) {
+        Result<Value> v = db.GetAttribute(oid, a->name);
+        if (!v.ok()) {
+          total = false;  // Missing attribute: object drops out (join).
+          break;
+        }
+        const std::vector<Oid>& elems = v->elements();
+        if (elems.empty()) {
+          total = false;  // Empty set: the unnest join is empty.
+          break;
+        }
+        std::vector<std::vector<Oid>> next;
+        next.reserve(rows.size() * elems.size());
+        for (const std::vector<Oid>& row : rows) {
+          for (const Oid& e : elems) {
+            std::vector<Oid> extended = row;
+            extended.push_back(e);
+            next.push_back(std::move(extended));
+          }
+        }
+        rows = std::move(next);
+      }
+      if (!total) continue;
+      for (std::vector<Oid>& row : rows) {
+        LYRIC_RETURN_NOT_OK(rel.Add(std::move(row)));
+      }
+    }
+    rel.Dedupe();
+    out.relations_.emplace(cls, std::move(rel));
+  }
+  return out;
+}
+
+Result<const FlatRelation*> FlatDatabase::Relation(
+    const std::string& class_name) const {
+  auto it = relations_.find(class_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no flat relation for class '" + class_name +
+                            "'");
+  }
+  return &it->second;
+}
+
+size_t FlatDatabase::TotalTuples() const {
+  size_t out = 0;
+  for (const auto& [cls, rel] : relations_) {
+    (void)cls;
+    out += rel.size();
+  }
+  return out;
+}
+
+}  // namespace lyric

@@ -1,0 +1,44 @@
+// Flattening an object database into per-class relations (§5).
+
+#ifndef LYRIC_RELATIONAL_FLATTEN_H_
+#define LYRIC_RELATIONAL_FLATTEN_H_
+
+#include "object/database.h"
+#include "relational/flat_relation.h"
+
+namespace lyric {
+
+/// The flat image of a Database: one relation per class (columns: "oid"
+/// followed by every attribute visible on the class, inherited included;
+/// set-valued attributes are unnested, one row per member, cartesian
+/// across several set attributes). Objects missing an attribute value are
+/// dropped from that class's relation — flat tuples are total, exactly as
+/// the §5 construction's join semantics imply.
+///
+/// The CST store is shared by reference: flat tuples carry CST oids and
+/// resolve them against the originating database.
+class FlatDatabase {
+ public:
+  /// Builds the flat image of `db`. `db` must outlive the result.
+  static Result<FlatDatabase> Flatten(const Database& db);
+
+  /// The relation of a class (its full extent, subclasses included).
+  Result<const FlatRelation*> Relation(const std::string& class_name) const;
+
+  const Database& origin() const { return *origin_; }
+
+  /// Total number of flat tuples across all classes (diagnostic).
+  size_t TotalTuples() const;
+
+  const std::map<std::string, FlatRelation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  const Database* origin_ = nullptr;
+  std::map<std::string, FlatRelation> relations_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_RELATIONAL_FLATTEN_H_

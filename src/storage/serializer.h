@@ -1,0 +1,53 @@
+// Textual persistence for constraint object bases.
+//
+// A dump is a self-contained, human-readable catalog:
+//
+//   -- lyric database dump v1
+//   CLASS Office_Object (x, y) {
+//     name : string;
+//     extent : CST(w, z);
+//   }
+//   CLASS Desk ISA Office_Object {
+//     drawer : Drawer (p, q);
+//     drawer_center : CST(p, q);
+//   }
+//   OBJECT my_desk : Object_in_Room {
+//     inv_number = '22-354';
+//     location = CST ((x, y) | x = 6 and y = 4);
+//     catalog_object = standard_desk;
+//   }
+//   INSTANCEOF <cst-or-object oid> : Region;
+//
+// Constraint values serialize through CstObject::CanonicalString and load
+// back through the query layer's formula parser (including quantified
+// bodies, `exists @b0 . (...)`), so a dump/load round trip preserves the
+// point sets and the CST-oid identities exactly.
+
+#ifndef LYRIC_STORAGE_SERIALIZER_H_
+#define LYRIC_STORAGE_SERIALIZER_H_
+
+#include <string>
+
+#include "object/database.h"
+
+namespace lyric {
+
+/// Dump/load entry points. Methods (C++ callables) are not serialized;
+/// re-register them after loading.
+class Serializer {
+ public:
+  /// Renders the schema, every stored object, every interned CST object
+  /// in use, and the extra instance-of facts.
+  static Result<std::string> DumpDatabase(const Database& db);
+
+  /// Loads a dump produced by DumpDatabase into an empty database.
+  static Status LoadDatabase(const std::string& text, Database* db);
+
+  /// File convenience wrappers.
+  static Status SaveToFile(const Database& db, const std::string& path);
+  static Status LoadFromFile(const std::string& path, Database* db);
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_STORAGE_SERIALIZER_H_

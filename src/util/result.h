@@ -1,0 +1,77 @@
+// Result<T>: a value or a Status, following the Arrow idiom.
+
+#ifndef LYRIC_UTIL_RESULT_H_
+#define LYRIC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lyric {
+
+/// Holds either a successfully produced T or the Status explaining why the
+/// value could not be produced. Construction from T is implicit so that
+/// `return value;` works in functions returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result; `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lyric
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, on success assigns the value to `lhs`.
+#define LYRIC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define LYRIC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define LYRIC_ASSIGN_OR_RETURN_NAME(a, b) LYRIC_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define LYRIC_ASSIGN_OR_RETURN(lhs, expr) \
+  LYRIC_ASSIGN_OR_RETURN_IMPL(            \
+      LYRIC_ASSIGN_OR_RETURN_NAME(_result_, __COUNTER__), lhs, expr)
+
+#endif  // LYRIC_UTIL_RESULT_H_

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace lyric {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kTypeError:
+      return "type-error";
+    case StatusCode::kArithmeticError:
+      return "arithmetic-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace lyric

@@ -1,0 +1,131 @@
+// Status: the error-handling currency of the LyriC library.
+//
+// Following the Arrow/RocksDB idiom, no exception ever crosses a public API
+// boundary. Every fallible operation returns a Status (or a Result<T>, see
+// result.h), and callers propagate with LYRIC_RETURN_NOT_OK.
+
+#ifndef LYRIC_UTIL_STATUS_H_
+#define LYRIC_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lyric {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller passed an argument that violates the API contract.
+  kInvalidArgument = 1,
+  /// A named entity (class, attribute, object, variable) does not exist.
+  kNotFound = 2,
+  /// An entity being created already exists.
+  kAlreadyExists = 3,
+  /// The request is syntactically valid but not implemented.
+  kNotImplemented = 4,
+  /// Query text failed to lex or parse.
+  kParseError = 5,
+  /// Query is well-formed but violates the schema (type error, unknown
+  /// attribute, arity mismatch, constraint-family violation).
+  kTypeError = 6,
+  /// Arithmetic failure (division by zero, malformed rational).
+  kArithmeticError = 7,
+  /// Internal invariant violated; indicates a library bug.
+  kInternal = 8,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: OK, or a code plus a human-readable message.
+///
+/// Statuses are cheap to copy in the OK case (a single null pointer); error
+/// details live behind a shared pointer.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ArithmeticError(std::string msg) {
+    return Status(StatusCode::kArithmeticError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsArithmeticError() const {
+    return code() == StatusCode::kArithmeticError;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace lyric
+
+/// Propagates a non-OK Status to the caller.
+#define LYRIC_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::lyric::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // LYRIC_UTIL_STATUS_H_

@@ -1,0 +1,23 @@
+// Small string helpers shared across the library.
+
+#ifndef LYRIC_UTIL_STRING_UTIL_H_
+#define LYRIC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace lyric {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Lower-cases ASCII characters of `s`.
+std::string ToLower(const std::string& s);
+
+}  // namespace lyric
+
+#endif  // LYRIC_UTIL_STRING_UTIL_H_

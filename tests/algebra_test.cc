@@ -1,0 +1,151 @@
+#include "algebra/combinators.h"
+
+#include <gtest/gtest.h>
+
+#include "office/office_db.h"
+
+namespace lyric {
+namespace {
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  VarId w_ = Variable::Intern("w");
+  VarId z_ = Variable::Intern("z");
+
+  CstObject Interval(int64_t lo, int64_t hi) {
+    Conjunction c;
+    c.Add(LinearConstraint::Ge(LinearExpr::Var(w_),
+                               LinearExpr::Constant(Rational(lo))));
+    c.Add(LinearConstraint::Le(LinearExpr::Var(w_),
+                               LinearExpr::Constant(Rational(hi))));
+    return CstObject::FromConjunction({w_}, c).value();
+  }
+};
+
+TEST_F(AlgebraTest, IdentityAndConstant) {
+  AValue v(Rational(7));
+  EXPECT_EQ(Fp::Identity()(v).value().AsNumber(), Rational(7));
+  EXPECT_EQ(Fp::Constant(AValue("x"))(v).value().AsString(), "x");
+}
+
+TEST_F(AlgebraTest, ComposeOrder) {
+  // (add1 . double)(3) = 7 with add1 = +[id, 1], double = +[id, id].
+  AFn add1 = Fp::Compose(
+      Fp::NumAdd(), Fp::Construct({Fp::Identity(),
+                                   Fp::Constant(AValue(Rational(1)))}));
+  AFn dbl = Fp::Compose(Fp::NumAdd(),
+                        Fp::Construct({Fp::Identity(), Fp::Identity()}));
+  EXPECT_EQ(Fp::Compose(add1, dbl)(AValue(Rational(3))).value().AsNumber(),
+            Rational(7));
+  EXPECT_EQ(Fp::Compose(dbl, add1)(AValue(Rational(3))).value().AsNumber(),
+            Rational(8));
+}
+
+TEST_F(AlgebraTest, ApplyToAll) {
+  AFn sat_all = Fp::ApplyToAll(Fp::CstSatisfiable());
+  AValue::List objs{AValue(Interval(0, 1)), AValue(Interval(5, 3))};
+  AValue out = sat_all(AValue(objs)).value();
+  ASSERT_TRUE(out.IsList());
+  EXPECT_TRUE(out.AsList()[0].AsBool());
+  EXPECT_FALSE(out.AsList()[1].AsBool());
+  // Non-list input is a type error.
+  EXPECT_TRUE(sat_all(AValue(Rational(1))).status().IsTypeError());
+}
+
+TEST_F(AlgebraTest, FilterBySatisfiability) {
+  AFn keep_nonempty = Fp::Filter(Fp::CstSatisfiable());
+  AValue::List objs{AValue(Interval(0, 1)), AValue(Interval(5, 3)),
+                    AValue(Interval(2, 9))};
+  AValue out = keep_nonempty(AValue(objs)).value();
+  EXPECT_EQ(out.AsList().size(), 2u);
+}
+
+TEST_F(AlgebraTest, InsertFoldsIntersection) {
+  // Fold intersection over [0,10], [3,20], [5,8] -> [5,8].
+  AValue::List objs{AValue(Interval(0, 10)), AValue(Interval(3, 20)),
+                    AValue(Interval(5, 8))};
+  AFn fold = Fp::Insert(Fp::CstConjoinPair(), AValue(Interval(-100, 100)));
+  AValue out = fold(AValue(objs)).value();
+  ASSERT_TRUE(out.IsCst());
+  EXPECT_TRUE(out.AsCst().EquivalentTo(Interval(5, 8)).value());
+}
+
+TEST_F(AlgebraTest, SelectIndex) {
+  AValue::List pair{AValue(Rational(1)), AValue(Rational(2))};
+  EXPECT_EQ(Fp::Select(1)(AValue(pair)).value().AsNumber(), Rational(2));
+  EXPECT_TRUE(Fp::Select(5)(AValue(pair)).status().IsInvalidArgument());
+}
+
+TEST_F(AlgebraTest, NotCombinator) {
+  AFn empty = Fp::Not(Fp::CstSatisfiable());
+  EXPECT_FALSE(empty(AValue(Interval(0, 1))).value().AsBool());
+  EXPECT_TRUE(empty(AValue(Interval(3, 2))).value().AsBool());
+}
+
+TEST_F(AlgebraTest, CstEntailsAndProject) {
+  AFn inside = Fp::CstEntails(Interval(0, 10));
+  EXPECT_TRUE(inside(AValue(Interval(2, 3))).value().AsBool());
+  EXPECT_FALSE(inside(AValue(Interval(2, 30))).value().AsBool());
+
+  // Project the desk extent onto w.
+  CstObject extent = office::BoxExtent(4, 2);
+  AFn proj = Fp::CstProject({w_});
+  AValue out = proj(AValue(extent)).value();
+  EXPECT_TRUE(out.AsCst().EquivalentTo(Interval(-4, 4)).value());
+}
+
+TEST_F(AlgebraTest, CstOptimize) {
+  AFn max_w = Fp::CstMaximize(LinearExpr::Var(w_));
+  EXPECT_EQ(max_w(AValue(Interval(2, 9))).value().AsNumber(), Rational(9));
+  AFn min_w = Fp::CstMinimize(LinearExpr::Var(w_));
+  EXPECT_EQ(min_w(AValue(Interval(2, 9))).value().AsNumber(), Rational(2));
+  // Infeasible and unbounded report errors.
+  EXPECT_FALSE(max_w(AValue(Interval(9, 2))).ok());
+  Conjunction free_c;
+  CstObject free_obj = CstObject::FromConjunction({w_}, free_c).value();
+  EXPECT_FALSE(max_w(AValue(free_obj)).ok());
+}
+
+TEST_F(AlgebraTest, QueryAsComposition) {
+  // The SELECT ((w) | E and w >= 0) FROM ... WHERE satisfiable(E) pattern
+  // as pure composition: filter satisfiable, conjoin with w >= 0, project.
+  Conjunction half;
+  half.Add(LinearConstraint::Ge(LinearExpr::Var(w_),
+                                LinearExpr::Constant(Rational(0))));
+  CstObject half_obj = CstObject::FromConjunction({w_}, half).value();
+  AFn pipeline = Fp::Compose(
+      Fp::ApplyToAll(Fp::Compose(Fp::CstProject({w_}),
+                                 Fp::CstConjoin(half_obj))),
+      Fp::Filter(Fp::CstSatisfiable()));
+  AValue::List input{AValue(Interval(-3, 2)), AValue(Interval(4, 1)),
+                     AValue(Interval(-9, -5))};
+  AValue out = pipeline(AValue(input)).value();
+  ASSERT_EQ(out.AsList().size(), 2u);
+  EXPECT_TRUE(out.AsList()[0].AsCst().EquivalentTo(Interval(0, 2)).value());
+  // [-9,-5] intersected with w >= 0 is empty but kept (filter ran first).
+  EXPECT_FALSE(out.AsList()[1].AsCst().Satisfiable().value());
+}
+
+TEST_F(AlgebraTest, NumCompare) {
+  EXPECT_TRUE(Fp::NumCompare("<", Rational(5))(AValue(Rational(3)))
+                  .value()
+                  .AsBool());
+  EXPECT_FALSE(Fp::NumCompare(">=", Rational(5))(AValue(Rational(3)))
+                   .value()
+                   .AsBool());
+  EXPECT_TRUE(Fp::NumCompare("<", Rational(5))(AValue("x")).status()
+                  .IsTypeError());
+  EXPECT_FALSE(Fp::NumCompare("??", Rational(5))(AValue(Rational(1))).ok());
+}
+
+TEST_F(AlgebraTest, ValueToString) {
+  EXPECT_EQ(AValue(Rational(1, 2)).ToString(), "1/2");
+  EXPECT_EQ(AValue(true).ToString(), "true");
+  EXPECT_EQ(AValue("hi").ToString(), "'hi'");
+  EXPECT_EQ(AValue(AValue::List{AValue(Rational(1)), AValue(false)})
+                .ToString(),
+            "[1, false]");
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,186 @@
+#include "query/evaluator.h"
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "office/office_db.h"
+#include "query/parser.h"
+
+namespace lyric {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = office::BuildOfficeDatabase(&db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+  }
+
+  Result<AnalysisReport> Analyze(const std::string& text) {
+    auto q = ParseQuery(text);
+    if (!q.ok()) return q.status();
+    Analyzer an(&db_);
+    return an.Analyze(*q);
+  }
+
+  Database db_;
+};
+
+TEST_F(AnalyzerTest, ValidQueryReportsClasses) {
+  auto r = Analyze(
+      "SELECT Y FROM Desk X WHERE X.drawer[Y] and Y.color = 'red'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->var_classes.at("X"), "Desk");
+  EXPECT_EQ(r->var_classes.at("Y"), "Drawer");
+  EXPECT_TRUE(r->warnings.empty());
+}
+
+TEST_F(AnalyzerTest, CstVariableClassInferred) {
+  auto r = Analyze("SELECT E FROM Desk X WHERE X.extent[E]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->var_classes.at("E"), "CST(2)");
+}
+
+TEST_F(AnalyzerTest, UnknownFromClass) {
+  EXPECT_TRUE(Analyze("SELECT X FROM Nope X").status().IsNotFound());
+}
+
+TEST_F(AnalyzerTest, UnknownAttributeIsHigherOrderVariable) {
+  // An identifier that names no attribute anywhere in the schema is a
+  // higher-order attribute variable, not a typo error — the analyzer
+  // surfaces it as a warning (it enumerates at evaluation time).
+  auto r = Analyze("SELECT X FROM Desk X WHERE X.wheels[W]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_FALSE(r->warnings.empty());
+  EXPECT_NE(r->warnings[0].find("wheels"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, MisusedExistingAttributeIsError) {
+  // 'location' exists in the schema (on Object_in_Room) but not on Desk:
+  // a genuine type error, not an attribute variable.
+  auto r = Analyze("SELECT X FROM Desk X WHERE X.location[L]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+  EXPECT_NE(r.status().message().find("location"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, UseBeforeBindDetected) {
+  auto r = Analyze(
+      "SELECT X FROM Desk D WHERE X.color = 'red' and D.drawer[X]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+  EXPECT_NE(r.status().message().find("before it is bound"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzerTest, BindingInsideOrDoesNotEscape) {
+  auto r = Analyze(
+      "SELECT D FROM Desk D "
+      "WHERE (D.drawer[X] or D.drawer[Y]) and X.color = 'red'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AnalyzerTest, PredicateArityCheckedStatically) {
+  auto r = Analyze(
+      "SELECT DSK FROM Desk DSK "
+      "WHERE DSK.drawer_center[C] and SAT(C(p, q, r) and p = 0)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+  EXPECT_NE(r.status().message().find("dimension"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, NonCstPredicateRejected) {
+  auto r = Analyze(
+      "SELECT D FROM Desk D WHERE D.drawer[W] and SAT(W(p, q) and p = 0)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(AnalyzerTest, ObjectVarUsedAsNumberRejected) {
+  auto r = Analyze("SELECT D FROM Desk D WHERE SAT(x <= D)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(AnalyzerTest, VariableClassConflict) {
+  // Y bound as Drawer, then compared as catalog_object (Office_Object).
+  auto r = Analyze(
+      "SELECT Y FROM Desk X, Object_in_Room O "
+      "WHERE X.drawer[Y] and O.catalog_object[Y]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(AnalyzerTest, AttributeVariableWarns) {
+  auto r = Analyze("SELECT X FROM Desk X WHERE X.A[C]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_FALSE(r->warnings.empty());
+  EXPECT_NE(r->warnings[0].find("higher-order"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, UnknownSymbolWarns) {
+  auto r = Analyze("SELECT D FROM Desk D WHERE missing_thing.color['red']");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->warnings.empty());
+}
+
+TEST_F(AnalyzerTest, ViewChecks) {
+  EXPECT_TRUE(Analyze("CREATE VIEW V AS SUBCLASS OF Nope "
+                      "SELECT X FROM Desk X")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(Analyze("CREATE VIEW V AS SUBCLASS OF Desk "
+                      "SELECT a = X SIGNATURE a => Nope FROM Desk X")
+                  .status()
+                  .IsNotFound());
+  // Existing class name as view name.
+  EXPECT_TRUE(Analyze("CREATE VIEW Desk AS SUBCLASS OF Office_Object "
+                      "SELECT X FROM Desk X")
+                  .status()
+                  .IsAlreadyExists());
+  // Variable-named views are fine (Region pattern).
+  EXPECT_TRUE(Analyze("CREATE VIEW X AS SUBCLASS OF Object_in_Room "
+                      "SELECT Y FROM Object_in_Room Y, Region X "
+                      "WHERE Y.location[U] and U |= X")
+                  .ok());
+}
+
+TEST_F(AnalyzerTest, OidFunctionVarsMustBeBound) {
+  auto r = Analyze(
+      "SELECT X.name FROM Desk X OID FUNCTION OF X, W");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(AnalyzerTest, EvaluatorAnalyzeFirstOption) {
+  EvalOptions opts;
+  opts.analyze_first = true;
+  Evaluator ev(&db_, opts);
+  // A schema typo fails fast with the analyzer's message.
+  auto bad = ev.Execute("SELECT X FROM Desk X WHERE X.location[L]");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsTypeError());
+  // Valid queries run normally.
+  auto good = ev.Execute("SELECT X FROM Desk X WHERE X.color = 'red'");
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->size(), 1u);
+}
+
+TEST_F(AnalyzerTest, PaperQueriesAllPass) {
+  const char* queries[] = {
+      "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+      "SELECT CO, ((u, v) | E and D and x = 6 and y = 4) "
+      "FROM Office_Object CO WHERE CO.extent[E] and CO.translation[D]",
+      "SELECT DSK FROM Desk DSK WHERE DSK.color = 'red' and "
+      "DSK.drawer_center[C] and C(p, q) |= p = 0",
+      "SELECT MAX(w + z SUBJECT TO ((w, z) | E)) "
+      "FROM Desk X WHERE X.extent[E]",
+  };
+  for (const char* q : queries) {
+    auto r = Analyze(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status();
+  }
+}
+
+}  // namespace
+}  // namespace lyric

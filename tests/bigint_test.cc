@@ -1,0 +1,164 @@
+#include "arith/bigint.h"
+
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.Sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z, BigInt(0));
+  EXPECT_EQ(-z, z);
+}
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* s : {"0", "1", "-1", "123456789012345678901234567890",
+                        "-99999999999999999999999999"}) {
+    auto v = BigInt::FromString(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToString(), s);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, AdditionSigns) {
+  EXPECT_EQ(BigInt(7) + BigInt(5), BigInt(12));
+  EXPECT_EQ(BigInt(7) + BigInt(-5), BigInt(2));
+  EXPECT_EQ(BigInt(-7) + BigInt(5), BigInt(-2));
+  EXPECT_EQ(BigInt(-7) + BigInt(-5), BigInt(-12));
+  EXPECT_EQ(BigInt(7) + BigInt(-7), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(-6) * BigInt(-7), BigInt(42));
+  EXPECT_EQ(BigInt(6) * BigInt(0), BigInt(0));
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  auto a = BigInt::FromString("123456789123456789123456789").value();
+  auto b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a * b).ToString(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+}
+
+TEST(BigIntTest, LargeDivision) {
+  auto a = BigInt::FromString("121932631356500531469135800347203169112635269")
+               .value();
+  auto b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a / b).ToString(), "123456789123456789123456789");
+  EXPECT_TRUE((a % b).IsZero());
+}
+
+TEST(BigIntTest, DivModIdentityRandomized) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    int64_t x = static_cast<int64_t>(rng()) % 1000000007;
+    int64_t y = static_cast<int64_t>(rng()) % 99991;
+    if (y == 0) y = 17;
+    BigInt a(x), b(y);
+    EXPECT_EQ((a / b) * b + a % b, a) << x << " " << y;
+  }
+}
+
+TEST(BigIntTest, MultiLimbDivModIdentity) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BigInt a(static_cast<int64_t>(rng() >> 1));
+    BigInt b(static_cast<int64_t>(rng() >> 1));
+    BigInt big = a * a * a;  // ~189 bits
+    BigInt div = b * b;      // ~126 bits
+    if (div.IsZero()) continue;
+    BigInt q = big / div;
+    BigInt r = big % div;
+    EXPECT_EQ(q * div + r, big);
+    EXPECT_TRUE(r.Abs() < div.Abs());
+  }
+}
+
+TEST(BigIntTest, Ordering) {
+  EXPECT_LT(BigInt(-10), BigInt(-9));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(99), BigInt(100));
+  auto big = BigInt::FromString("10000000000000000000000").value();
+  EXPECT_LT(BigInt(INT64_MAX), big);
+  EXPECT_LT(-big, BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, ToInt64) {
+  EXPECT_EQ(BigInt(123).ToInt64().value(), 123);
+  EXPECT_EQ(BigInt(-123).ToInt64().value(), -123);
+  EXPECT_EQ(BigInt(INT64_MAX).ToInt64().value(), INT64_MAX);
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64().value(), INT64_MIN);
+  auto big = BigInt::FromString("9223372036854775808").value();  // 2^63
+  EXPECT_FALSE(big.ToInt64().ok());
+  EXPECT_EQ((-big).ToInt64().value(), INT64_MIN);
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).ToDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1000).ToDouble(), -1000.0);
+  auto big = BigInt::FromString("1000000000000000000000").value();
+  EXPECT_NEAR(big.ToDouble(), 1e21, 1e6);
+}
+
+TEST(BigIntTest, SubtractionBorrowsAcrossLimbs) {
+  auto a = BigInt::FromString("18446744073709551616").value();  // 2^64
+  EXPECT_EQ((a - BigInt(1)).ToString(), "18446744073709551615");
+  EXPECT_EQ((a - a).ToString(), "0");
+}
+
+TEST(BigIntTest, AssociativityRandomized) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a(static_cast<int64_t>(rng()));
+    BigInt b(static_cast<int64_t>(rng()));
+    BigInt c(static_cast<int64_t>(rng()));
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+}  // namespace
+}  // namespace lyric

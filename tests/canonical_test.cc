@@ -1,0 +1,178 @@
+#include "constraint/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "constraint/simplex.h"
+
+namespace lyric {
+namespace {
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+  VarId z_ = Variable::Intern("z");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr Z() { return LinearExpr::Var(z_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+};
+
+TEST_F(CanonicalTest, SyntacticDedupe) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Le(X().Scale(Rational(3)), C(3)));
+  Conjunction out =
+      Canonical::Simplify(c, CanonicalLevel::kSyntactic).value();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(CanonicalTest, CheapDetectsInfeasibleConjunct) {
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X() + Y(), C(3)));
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Le(Y(), C(1)));
+  // Syntactic keeps it; cheap collapses to FALSE.
+  EXPECT_NE(Canonical::Simplify(c, CanonicalLevel::kSyntactic).value(),
+            Conjunction::False());
+  EXPECT_EQ(Canonical::Simplify(c, CanonicalLevel::kCheap).value(),
+            Conjunction::False());
+}
+
+TEST_F(CanonicalTest, SolveEqualitiesSubstitutes) {
+  // x = y + 1 and x <= 3 -> y <= 2 (plus the solved equality).
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y() + C(1)));
+  c.Add(LinearConstraint::Le(X(), C(3)));
+  Conjunction out = Canonical::SolveEqualities(c);
+  bool found_y_bound = false;
+  for (const LinearConstraint& atom : out.atoms()) {
+    if (atom.op() == RelOp::kLe && atom.FreeVars() == VarSet{y_}) {
+      found_y_bound = true;
+    }
+  }
+  EXPECT_TRUE(found_y_bound) << out.ToString();
+  // Semantics preserved.
+  for (int64_t xv = 0; xv <= 4; ++xv) {
+    for (int64_t yv = 0; yv <= 4; ++yv) {
+      Assignment pt{{x_, Rational(xv)}, {y_, Rational(yv)}};
+      EXPECT_EQ(c.Eval(pt).value(), out.Eval(pt).value());
+    }
+  }
+}
+
+TEST_F(CanonicalTest, SolveEqualitiesChain) {
+  // x = y, y = z, z = 5: all collapse.
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y()));
+  c.Add(LinearConstraint::Eq(Y(), Z()));
+  c.Add(LinearConstraint::Eq(Z(), C(5)));
+  Conjunction out = Canonical::SolveEqualities(c);
+  Assignment good{{x_, Rational(5)}, {y_, Rational(5)}, {z_, Rational(5)}};
+  Assignment bad{{x_, Rational(5)}, {y_, Rational(4)}, {z_, Rational(5)}};
+  EXPECT_TRUE(out.Eval(good).value());
+  EXPECT_FALSE(out.Eval(bad).value());
+}
+
+TEST_F(CanonicalTest, ContradictoryEqualitiesCollapse) {
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y()));
+  c.Add(LinearConstraint::Eq(X(), Y() + C(1)));
+  Conjunction out = Canonical::Simplify(c, CanonicalLevel::kCheap).value();
+  EXPECT_EQ(out, Conjunction::False());
+}
+
+TEST_F(CanonicalTest, RedundancyRemovesImpliedAtom) {
+  // x <= 1 implies x <= 5.
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Le(X(), C(5)));
+  Conjunction cheap = Canonical::Simplify(c, CanonicalLevel::kCheap).value();
+  EXPECT_EQ(cheap.size(), 2u);  // Cheap level keeps both.
+  Conjunction tight =
+      Canonical::Simplify(c, CanonicalLevel::kRedundancy).value();
+  EXPECT_EQ(tight.size(), 1u);
+  EXPECT_EQ(tight.atoms()[0], LinearConstraint::Le(X(), C(1)));
+}
+
+TEST_F(CanonicalTest, RedundancyRemovesImpliedCombination) {
+  // x <= 1, y <= 1 imply x + y <= 2.
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Le(Y(), C(1)));
+  c.Add(LinearConstraint::Le(X() + Y(), C(2)));
+  Conjunction out =
+      Canonical::Simplify(c, CanonicalLevel::kRedundancy).value();
+  EXPECT_EQ(out.size(), 2u) << out.ToString();
+}
+
+TEST_F(CanonicalTest, RedundancyKeepsBindingAtoms) {
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  Conjunction out =
+      Canonical::Simplify(c, CanonicalLevel::kRedundancy).value();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(CanonicalTest, DnfDropsInconsistentDisjuncts) {
+  Conjunction bad;
+  bad.Add(LinearConstraint::Ge(X(), C(2)));
+  bad.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction good;
+  good.Add(LinearConstraint::Ge(X(), C(0)));
+  Dnf d = Dnf(bad).Or(Dnf(good));
+  Dnf out = Canonical::Simplify(d, CanonicalLevel::kCheap).value();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(CanonicalTest, DnfDeletesSyntacticDuplicates) {
+  Conjunction a;
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  a.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction b;  // Same constraints, different order and scaling.
+  b.Add(LinearConstraint::Le(X().Scale(Rational(2)), C(2)));
+  b.Add(LinearConstraint::Ge(X(), C(0)));
+  Dnf d = Dnf(a).Or(Dnf(b));
+  Dnf out = Canonical::Simplify(d, CanonicalLevel::kSyntactic).value();
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(CanonicalTest, DnfDoesNotDetectSemanticRedundancy) {
+  // [0,2] or [0,1]: the second disjunct is semantically redundant but not
+  // a syntactic duplicate — per §3.1 it must survive (detection is co-NP).
+  Conjunction wide;
+  wide.Add(LinearConstraint::Ge(X(), C(0)));
+  wide.Add(LinearConstraint::Le(X(), C(2)));
+  Conjunction narrow;
+  narrow.Add(LinearConstraint::Ge(X(), C(0)));
+  narrow.Add(LinearConstraint::Le(X(), C(1)));
+  Dnf d = Dnf(wide).Or(Dnf(narrow));
+  Dnf out = Canonical::Simplify(d, CanonicalLevel::kRedundancy).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CanonicalTest, SimplifyPreservesSemantics) {
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y() + C(1)));
+  c.Add(LinearConstraint::Le(X(), C(3)));
+  c.Add(LinearConstraint::Le(X(), C(7)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  for (CanonicalLevel level :
+       {CanonicalLevel::kSyntactic, CanonicalLevel::kCheap,
+        CanonicalLevel::kRedundancy}) {
+    Conjunction out = Canonical::Simplify(c, level).value();
+    for (int64_t xv = 0; xv <= 4; ++xv) {
+      for (int64_t yv = -1; yv <= 4; ++yv) {
+        Assignment pt{{x_, Rational(xv)}, {y_, Rational(yv)}};
+        EXPECT_EQ(c.Eval(pt).value(), out.Eval(pt).value())
+            << CanonicalLevelToString(level) << " " << out.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,116 @@
+#include "constraint/conjunction.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class ConjunctionTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+};
+
+TEST_F(ConjunctionTest, EmptyIsTrue) {
+  Conjunction c;
+  EXPECT_TRUE(c.IsTrue());
+  EXPECT_EQ(c.ToString(), "true");
+  EXPECT_TRUE(c.Eval({}).value());
+}
+
+TEST_F(ConjunctionTest, ConstantTrueAtomsDropped) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(C(0), C(1)));
+  EXPECT_TRUE(c.IsTrue());
+}
+
+TEST_F(ConjunctionTest, ConstantFalseCollapses) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Le(C(1), C(0)));
+  EXPECT_TRUE(c.HasConstantFalse());
+  EXPECT_EQ(c, Conjunction::False());
+  // Adding more atoms to FALSE keeps it FALSE.
+  c.Add(LinearConstraint::Le(X(), C(5)));
+  EXPECT_EQ(c, Conjunction::False());
+}
+
+TEST_F(ConjunctionTest, EvalAll) {
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Le(X() + Y(), C(3)));
+  EXPECT_TRUE(c.Eval({{x_, Rational(1)}, {y_, Rational(1)}}).value());
+  EXPECT_FALSE(c.Eval({{x_, Rational(-1)}, {y_, Rational(1)}}).value());
+  EXPECT_FALSE(c.Eval({{x_, Rational(2)}, {y_, Rational(2)}}).value());
+}
+
+TEST_F(ConjunctionTest, FreeVars) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X() + Y(), C(3)));
+  EXPECT_EQ(c.FreeVars(), (VarSet{x_, y_}));
+}
+
+TEST_F(ConjunctionTest, SubstituteAllAtoms) {
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Le(X(), C(2)));
+  Conjunction out = c.Substitute(x_, Y() + C(1));
+  // Becomes -1 <= y <= 1.
+  EXPECT_TRUE(out.Eval({{y_, Rational(0)}}).value());
+  EXPECT_FALSE(out.Eval({{y_, Rational(2)}}).value());
+}
+
+TEST_F(ConjunctionTest, SortAndDedupe) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(2)));
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Le(X().Scale(Rational(2)), C(4)));  // dup of first
+  EXPECT_EQ(c.size(), 3u);
+  c.SortAndDedupe();
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST_F(ConjunctionTest, CompareCanonical) {
+  Conjunction a;
+  a.Add(LinearConstraint::Le(X(), C(2)));
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  Conjunction b;
+  b.Add(LinearConstraint::Ge(X(), C(0)));
+  b.Add(LinearConstraint::Le(X(), C(2)));
+  a.SortAndDedupe();
+  b.SortAndDedupe();
+  EXPECT_EQ(a.Compare(b), 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ConjunctionTest, HasDisequality) {
+  Conjunction c;
+  EXPECT_FALSE(c.HasDisequality());
+  c.Add(LinearConstraint::Neq(X(), C(0)));
+  EXPECT_TRUE(c.HasDisequality());
+}
+
+TEST_F(ConjunctionTest, ConjoinUnionsAtoms) {
+  Conjunction a;
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  Conjunction b;
+  b.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction both = a.Conjoin(b);
+  EXPECT_EQ(both.size(), 2u);
+  EXPECT_TRUE(both.Eval({{x_, Rational(1, 2)}}).value());
+}
+
+TEST_F(ConjunctionTest, RenameAllAtoms) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  std::map<VarId, VarId> renaming{{x_, y_}};
+  Conjunction out = c.Rename(renaming);
+  EXPECT_EQ(out.FreeVars(), VarSet{y_});
+}
+
+}  // namespace
+}  // namespace lyric

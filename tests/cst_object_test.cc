@@ -1,0 +1,234 @@
+#include "constraint/cst_object.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class CstObjectTest : public ::testing::Test {
+ protected:
+  VarId w_ = Variable::Intern("w");
+  VarId z_ = Variable::Intern("z");
+  VarId u_ = Variable::Intern("u");
+  VarId v_ = Variable::Intern("v");
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+
+  LinearExpr E(VarId v) { return LinearExpr::Var(v); }
+  LinearExpr C(int64_t c) { return LinearExpr::Constant(Rational(c)); }
+
+  // The paper's standard-desk extent: ((w,z) | -4<=w<=4 and -2<=z<=2).
+  CstObject DeskExtent() {
+    Conjunction c;
+    c.Add(LinearConstraint::Ge(E(w_), C(-4)));
+    c.Add(LinearConstraint::Le(E(w_), C(4)));
+    c.Add(LinearConstraint::Ge(E(z_), C(-2)));
+    c.Add(LinearConstraint::Le(E(z_), C(2)));
+    return CstObject::FromConjunction({w_, z_}, c).value();
+  }
+
+  // The translation: ((w,z,x,y,u,v) | u = x + w and v = y + z).
+  CstObject Translation() {
+    Conjunction c;
+    c.Add(LinearConstraint::Eq(E(u_), E(x_) + E(w_)));
+    c.Add(LinearConstraint::Eq(E(v_), E(y_) + E(z_)));
+    return CstObject::FromConjunction({w_, z_, x_, y_, u_, v_}, c).value();
+  }
+};
+
+TEST_F(CstObjectTest, ConstructionAndFamily) {
+  CstObject desk = DeskExtent();
+  EXPECT_EQ(desk.Dimension(), 2u);
+  EXPECT_EQ(desk.Family(), ConstraintFamily::kConjunctive);
+}
+
+TEST_F(CstObjectTest, BodyOutsideInterfaceRejected) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(E(w_) + E(u_), C(0)));
+  auto r = CstObject::FromConjunction({w_}, c);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(CstObjectTest, RepeatedInterfaceRejected) {
+  auto r = CstObject::FromConjunction({w_, w_}, Conjunction());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CstObjectTest, ContainsPoint) {
+  CstObject desk = DeskExtent();
+  EXPECT_TRUE(desk.Contains({Rational(0), Rational(0)}).value());
+  EXPECT_TRUE(desk.Contains({Rational(4), Rational(-2)}).value());
+  EXPECT_FALSE(desk.Contains({Rational(5), Rational(0)}).value());
+  EXPECT_FALSE(desk.Contains({Rational(0)}).ok());  // Arity error.
+}
+
+TEST_F(CstObjectTest, RenameToIsInvocation) {
+  // DeskExtent as E(a, b).
+  VarId a = Variable::Intern("a");
+  VarId b = Variable::Intern("b");
+  CstObject renamed = DeskExtent().RenameTo({a, b}).value();
+  EXPECT_EQ(renamed.Interface(), (std::vector<VarId>{a, b}));
+  EXPECT_TRUE(renamed.Contains({Rational(4), Rational(2)}).value());
+  EXPECT_FALSE(DeskExtent().RenameTo({a}).ok());  // Arity mismatch.
+}
+
+TEST_F(CstObjectTest, PaperGlobalExtentPipeline) {
+  // The §4.1 flagship example: conjoin extent, translation, and x=6, y=4;
+  // project onto (u, v); expect exactly 2 <= u <= 10 and 2 <= v <= 6.
+  CstObject e = DeskExtent();
+  CstObject d = Translation();
+  Conjunction at;
+  at.Add(LinearConstraint::Eq(E(x_), C(6)));
+  at.Add(LinearConstraint::Eq(E(y_), C(4)));
+  CstObject pos = CstObject::FromConjunction({x_, y_}, at).value();
+  CstObject combined = e.Conjoin(d).value().Conjoin(pos).value();
+  EXPECT_EQ(combined.Dimension(), 6u);
+  // Unrestricted projection absorbs into existential family...
+  CstObject lazy = combined.Project({u_, v_}).value();
+  EXPECT_EQ(lazy.Family(), ConstraintFamily::kExistentialConjunctive);
+  EXPECT_TRUE(lazy.Contains({Rational(2), Rational(2)}).value());
+  EXPECT_TRUE(lazy.Contains({Rational(10), Rational(6)}).value());
+  EXPECT_FALSE(lazy.Contains({Rational(1), Rational(2)}).value());
+  // ...while eager projection materializes the box the paper prints.
+  CstObject eager = combined.ProjectEager({u_, v_}).value();
+  Conjunction expected;
+  expected.Add(LinearConstraint::Ge(E(u_), C(2)));
+  expected.Add(LinearConstraint::Le(E(u_), C(10)));
+  expected.Add(LinearConstraint::Ge(E(v_), C(2)));
+  expected.Add(LinearConstraint::Le(E(v_), C(6)));
+  CstObject expected_obj =
+      CstObject::FromConjunction({u_, v_}, expected).value();
+  EXPECT_TRUE(eager.EquivalentTo(expected_obj).value());
+}
+
+TEST_F(CstObjectTest, ConjoinSharedVariablesIdentify) {
+  // Conjoin uses variable names: extent(w,z) and translation(w,z,...)
+  // share w,z — exactly the paper's implicit schema equality.
+  CstObject both = DeskExtent().Conjoin(Translation()).value();
+  EXPECT_EQ(both.Dimension(), 6u);
+  // (w,z,x,y,u,v) = (4,2,6,4,10,6) is on the boundary.
+  EXPECT_TRUE(both.Contains({Rational(4), Rational(2), Rational(6),
+                             Rational(4), Rational(10), Rational(6)})
+                  .value());
+  // Breaking u = x + w excludes the point.
+  EXPECT_FALSE(both.Contains({Rational(4), Rational(2), Rational(6),
+                              Rational(4), Rational(11), Rational(6)})
+                   .value());
+}
+
+TEST_F(CstObjectTest, DisjoinMakesDisjunctive) {
+  CstObject a = DeskExtent();
+  CstObject b = DeskExtent().RenameTo({w_, z_}).value();
+  CstObject u = a.Disjoin(b).value();
+  EXPECT_TRUE(FamilyHasDisjunction(u.Family()) ||
+              u.Family() == ConstraintFamily::kConjunctive)
+      << ConstraintFamilyToString(u.Family());
+}
+
+TEST_F(CstObjectTest, NegateConjunctiveOnly) {
+  CstObject desk = DeskExtent();
+  CstObject neg = desk.Negate().value();
+  EXPECT_EQ(neg.Family(), ConstraintFamily::kDisjunctive);
+  EXPECT_FALSE(neg.Contains({Rational(0), Rational(0)}).value());
+  EXPECT_TRUE(neg.Contains({Rational(9), Rational(0)}).value());
+  // Negating the disjunctive result is rejected.
+  EXPECT_FALSE(neg.Negate().ok());
+}
+
+TEST_F(CstObjectTest, RestrictedProjectionStaysConjunctive) {
+  // Dropping one of two dims: keep <= 1 -> LP interval path.
+  CstObject desk = DeskExtent();
+  CstObject onto_w = desk.Project({w_}).value();
+  EXPECT_EQ(onto_w.Family(), ConstraintFamily::kConjunctive);
+  EXPECT_TRUE(onto_w.Contains({Rational(-4)}).value());
+  EXPECT_FALSE(onto_w.Contains({Rational(5)}).value());
+}
+
+TEST_F(CstObjectTest, ProjectionCanAddFreshDimensions) {
+  // §3.1: "a projection can add new free variables".
+  CstObject desk = DeskExtent();
+  VarId t = Variable::Intern("t_fresh");
+  CstObject lifted = desk.Project({w_, z_, t}).value();
+  EXPECT_EQ(lifted.Dimension(), 3u);
+  EXPECT_TRUE(
+      lifted.Contains({Rational(0), Rational(0), Rational(1000)}).value());
+}
+
+TEST_F(CstObjectTest, MaximizeOverObject) {
+  CstObject desk = DeskExtent();
+  auto sol = desk.Maximize(E(w_) + E(z_)).value();
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.value, Rational(6));
+  EXPECT_TRUE(sol.attained);
+  EXPECT_EQ(sol.point.at(w_), Rational(4));
+  auto mn = desk.Minimize(E(z_)).value();
+  EXPECT_EQ(mn.value, Rational(-2));
+}
+
+TEST_F(CstObjectTest, MaximizeThroughQuantifier) {
+  // max u over exists w,z,x,y . (extent and translation and x=6, y=4).
+  CstObject combined = DeskExtent().Conjoin(Translation()).value();
+  Conjunction at;
+  at.Add(LinearConstraint::Eq(E(x_), C(6)));
+  at.Add(LinearConstraint::Eq(E(y_), C(4)));
+  combined =
+      combined.Conjoin(CstObject::FromConjunction({x_, y_}, at).value())
+          .value();
+  CstObject projected = combined.Project({u_, v_}).value();
+  auto sol = projected.Maximize(E(u_)).value();
+  EXPECT_EQ(sol.value, Rational(10));
+}
+
+TEST_F(CstObjectTest, EntailsPositional) {
+  // Small box entails desk extent after positional alignment.
+  Conjunction small;
+  small.Add(LinearConstraint::Ge(E(u_), C(0)));
+  small.Add(LinearConstraint::Le(E(u_), C(1)));
+  small.Add(LinearConstraint::Ge(E(v_), C(0)));
+  small.Add(LinearConstraint::Le(E(v_), C(1)));
+  CstObject small_obj = CstObject::FromConjunction({u_, v_}, small).value();
+  EXPECT_TRUE(small_obj.Entails(DeskExtent()).value());
+  EXPECT_FALSE(DeskExtent().Entails(small_obj).value());
+}
+
+TEST_F(CstObjectTest, CanonicalStringNameInvariant) {
+  // The same box over different variable names has the same identity.
+  Conjunction c1;
+  c1.Add(LinearConstraint::Ge(E(w_), C(0)));
+  c1.Add(LinearConstraint::Le(E(w_), C(1)));
+  Conjunction c2;
+  c2.Add(LinearConstraint::Ge(E(u_), C(0)));
+  c2.Add(LinearConstraint::Le(E(u_), C(1)));
+  CstObject o1 = CstObject::FromConjunction({w_}, c1).value();
+  CstObject o2 = CstObject::FromConjunction({u_}, c2).value();
+  EXPECT_EQ(o1.CanonicalString().value(), o2.CanonicalString().value());
+  // Different point sets get different identities.
+  Conjunction c3;
+  c3.Add(LinearConstraint::Ge(E(u_), C(0)));
+  c3.Add(LinearConstraint::Le(E(u_), C(2)));
+  CstObject o3 = CstObject::FromConjunction({u_}, c3).value();
+  EXPECT_NE(o1.CanonicalString().value(), o3.CanonicalString().value());
+}
+
+TEST_F(CstObjectTest, CanonicalStringDropsInconsistentDisjunct) {
+  Conjunction sat;
+  sat.Add(LinearConstraint::Ge(E(w_), C(0)));
+  Conjunction unsat;
+  unsat.Add(LinearConstraint::Ge(E(w_), C(1)));
+  unsat.Add(LinearConstraint::Le(E(w_), C(0)));
+  CstObject with = CstObject::FromDnf({w_}, Dnf(sat).Or(Dnf(unsat))).value();
+  CstObject without = CstObject::FromDnf({w_}, Dnf(sat)).value();
+  EXPECT_EQ(with.CanonicalString().value(),
+            without.CanonicalString().value());
+}
+
+TEST_F(CstObjectTest, ZeroDimensionalObjects) {
+  CstObject t;  // TRUE
+  EXPECT_EQ(t.Dimension(), 0u);
+  EXPECT_TRUE(t.Satisfiable().value());
+  EXPECT_TRUE(t.Contains({}).value());
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,210 @@
+// Property suite: algebraic laws of CST objects checked on randomized
+// instances. These are the semantic invariants everything above the
+// constraint engine (evaluator, flat algebra, FP combinators) relies on.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/cst_object.h"
+
+namespace lyric {
+namespace {
+
+class CstProperty : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_.seed(static_cast<uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ull);
+    x_ = Variable::Intern("ppx");
+    y_ = Variable::Intern("ppy");
+  }
+
+  Rational RandCoeff() {
+    return Rational(static_cast<int64_t>(rng_() % 7) - 3);
+  }
+
+  // A random (possibly empty, possibly disjunctive) 2-D CST object within
+  // a bounded window.
+  CstObject RandomObject() {
+    Dnf d;
+    int disjuncts = 1 + static_cast<int>(rng_() % 2);
+    for (int k = 0; k < disjuncts; ++k) {
+      Conjunction c;
+      c.Add(LinearConstraint::Ge(LinearExpr::Var(x_),
+                                 LinearExpr::Constant(Rational(-6))));
+      c.Add(LinearConstraint::Le(LinearExpr::Var(x_),
+                                 LinearExpr::Constant(Rational(6))));
+      c.Add(LinearConstraint::Ge(LinearExpr::Var(y_),
+                                 LinearExpr::Constant(Rational(-6))));
+      c.Add(LinearConstraint::Le(LinearExpr::Var(y_),
+                                 LinearExpr::Constant(Rational(6))));
+      for (int i = 0; i < 3; ++i) {
+        LinearExpr e;
+        e.AddTerm(x_, RandCoeff());
+        e.AddTerm(y_, RandCoeff());
+        e.AddConstant(Rational(static_cast<int64_t>(rng_() % 13) - 6));
+        c.Add(LinearConstraint(e, rng_() % 4 == 0 ? RelOp::kLt : RelOp::kLe));
+      }
+      d.AddDisjunct(std::move(c));
+    }
+    return CstObject::FromDnf({x_, y_}, d).value();
+  }
+
+  std::vector<Rational> RandomPoint() {
+    auto r = [&]() {
+      return Rational(static_cast<int64_t>(rng_() % 29) - 14, 2);
+    };
+    return {r(), r()};
+  }
+
+  std::mt19937_64 rng_;
+  VarId x_, y_;
+};
+
+TEST_P(CstProperty, ConjoinIsIntersection) {
+  CstObject a = RandomObject();
+  CstObject b = RandomObject();
+  CstObject both = a.Conjoin(b).value();
+  for (int i = 0; i < 24; ++i) {
+    auto p = RandomPoint();
+    EXPECT_EQ(both.Contains(p).value(),
+              a.Contains(p).value() && b.Contains(p).value());
+  }
+}
+
+TEST_P(CstProperty, DisjoinIsUnion) {
+  CstObject a = RandomObject();
+  CstObject b = RandomObject();
+  CstObject either = a.Disjoin(b).value();
+  for (int i = 0; i < 24; ++i) {
+    auto p = RandomPoint();
+    EXPECT_EQ(either.Contains(p).value(),
+              a.Contains(p).value() || b.Contains(p).value());
+  }
+}
+
+TEST_P(CstProperty, NegateIsComplementForConjunctive) {
+  // Build a purely conjunctive object (single disjunct).
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(LinearExpr::Var(x_),
+                             LinearExpr::Constant(RandCoeff())));
+  c.Add(LinearConstraint::Le(LinearExpr::Var(x_) + LinearExpr::Var(y_),
+                             LinearExpr::Constant(Rational(
+                                 static_cast<int64_t>(rng_() % 9)))));
+  CstObject a = CstObject::FromConjunction({x_, y_}, c).value();
+  CstObject not_a = a.Negate().value();
+  for (int i = 0; i < 24; ++i) {
+    auto p = RandomPoint();
+    EXPECT_NE(a.Contains(p).value(), not_a.Contains(p).value());
+  }
+}
+
+TEST_P(CstProperty, EntailsIsSampledImplication) {
+  CstObject a = RandomObject();
+  CstObject b = RandomObject();
+  bool entails = a.Entails(b).value();
+  if (entails) {
+    for (int i = 0; i < 24; ++i) {
+      auto p = RandomPoint();
+      if (a.Contains(p).value()) {
+        EXPECT_TRUE(b.Contains(p).value());
+      }
+    }
+  }
+  // Reflexivity always.
+  EXPECT_TRUE(a.Entails(a).value());
+}
+
+TEST_P(CstProperty, EntailmentRespectsConjoin) {
+  // a conjoin b entails both a and b.
+  CstObject a = RandomObject();
+  CstObject b = RandomObject();
+  CstObject both = a.Conjoin(b).value();
+  EXPECT_TRUE(both.Entails(a).value());
+  EXPECT_TRUE(both.Entails(b).value());
+  // And both a, b entail a disjoin b.
+  CstObject either = a.Disjoin(b).value();
+  EXPECT_TRUE(a.Entails(either).value());
+  EXPECT_TRUE(b.Entails(either).value());
+}
+
+TEST_P(CstProperty, CanonicalizePreservesSemantics) {
+  CstObject a = RandomObject();
+  for (CanonicalLevel level :
+       {CanonicalLevel::kSyntactic, CanonicalLevel::kCheap,
+        CanonicalLevel::kRedundancy}) {
+    CstObject canon = a.Canonicalize(level).value();
+    for (int i = 0; i < 16; ++i) {
+      auto p = RandomPoint();
+      EXPECT_EQ(a.Contains(p).value(), canon.Contains(p).value())
+          << CanonicalLevelToString(level);
+    }
+  }
+}
+
+TEST_P(CstProperty, CanonicalStringIdentityIsSound) {
+  // Equal canonical strings imply equal point sets (sampled); renaming
+  // the interface never changes the identity.
+  CstObject a = RandomObject();
+  VarId u = Variable::Intern("ppu");
+  VarId v = Variable::Intern("ppv");
+  CstObject renamed = a.RenameTo({u, v}).value();
+  EXPECT_EQ(a.CanonicalString().value(), renamed.CanonicalString().value());
+  CstObject b = RandomObject();
+  if (a.CanonicalString().value() == b.CanonicalString().value()) {
+    for (int i = 0; i < 16; ++i) {
+      auto p = RandomPoint();
+      EXPECT_EQ(a.Contains(p).value(), b.Contains(p).value());
+    }
+  }
+}
+
+TEST_P(CstProperty, ProjectionIsSoundAndComplete) {
+  CstObject a = RandomObject();
+  CstObject shadow = a.ProjectEager({x_}).value();
+  // Sampled x is in the shadow iff some y extends it into a.
+  for (int i = 0; i < 12; ++i) {
+    Rational px(static_cast<int64_t>(rng_() % 29) - 14, 2);
+    // exists y . a(px, y)?
+    bool extends = false;
+    {
+      Conjunction grounded;
+      // a with x fixed: conjoin with x = px and test satisfiability.
+      Conjunction fix;
+      fix.Add(LinearConstraint::Eq(LinearExpr::Var(x_),
+                                   LinearExpr::Constant(px)));
+      CstObject fixed =
+          a.Conjoin(CstObject::FromConjunction({x_}, fix).value()).value();
+      extends = fixed.Satisfiable().value();
+      (void)grounded;
+    }
+    EXPECT_EQ(shadow.Contains({px}).value(), extends) << px;
+  }
+  // Lazy projection agrees with eager.
+  CstObject lazy = a.Project({x_}).value();
+  EXPECT_TRUE(lazy.EquivalentTo(shadow).value());
+}
+
+TEST_P(CstProperty, BoundingBoxContainsAllMembers) {
+  CstObject a = RandomObject();
+  if (!a.Satisfiable().value()) return;
+  auto box = a.BoundingBox().value();
+  ASSERT_EQ(box.size(), 2u);
+  for (int i = 0; i < 24; ++i) {
+    auto p = RandomPoint();
+    if (!a.Contains(p).value()) continue;
+    for (size_t d = 0; d < 2; ++d) {
+      if (box[d].lower.has_value()) {
+        EXPECT_GE(p[d], *box[d].lower);
+      }
+      if (box[d].upper.has_value()) {
+        EXPECT_LE(p[d], *box[d].upper);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CstProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace lyric

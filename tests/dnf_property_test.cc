@@ -1,0 +1,131 @@
+// Property suite over DNF boolean laws on randomized formulas: negation,
+// disequality splitting, distribution, and De Morgan, all checked
+// pointwise on sampled grids.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/dnf.h"
+#include "constraint/existential.h"
+
+namespace lyric {
+namespace {
+
+class DnfProperty : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_.seed(static_cast<uint64_t>(GetParam()) * 48271ull);
+    x_ = Variable::Intern("dpx");
+    y_ = Variable::Intern("dpy");
+  }
+
+  LinearConstraint RandomAtom(bool allow_neq) {
+    LinearExpr e;
+    e.AddTerm(x_, Rational(static_cast<int64_t>(rng_() % 5) - 2));
+    e.AddTerm(y_, Rational(static_cast<int64_t>(rng_() % 5) - 2));
+    e.AddConstant(Rational(static_cast<int64_t>(rng_() % 9) - 4));
+    switch (rng_() % (allow_neq ? 4 : 3)) {
+      case 0:
+        return LinearConstraint(e, RelOp::kEq);
+      case 1:
+        return LinearConstraint(e, RelOp::kLt);
+      case 3:
+        return LinearConstraint(e, RelOp::kNeq);
+      default:
+        return LinearConstraint(e, RelOp::kLe);
+    }
+  }
+
+  Dnf RandomDnf(bool allow_neq) {
+    Dnf d;
+    int disjuncts = 1 + static_cast<int>(rng_() % 3);
+    for (int k = 0; k < disjuncts; ++k) {
+      Conjunction c;
+      int atoms = 1 + static_cast<int>(rng_() % 3);
+      for (int i = 0; i < atoms; ++i) c.Add(RandomAtom(allow_neq));
+      d.AddDisjunct(std::move(c));
+    }
+    return d;
+  }
+
+  void ForGrid(const std::function<void(const Assignment&)>& fn) {
+    for (int64_t xv = -3; xv <= 3; ++xv) {
+      for (int64_t yv = -3; yv <= 3; ++yv) {
+        fn(Assignment{{x_, Rational(xv)}, {y_, Rational(yv)}});
+      }
+    }
+  }
+
+  std::mt19937_64 rng_;
+  VarId x_, y_;
+};
+
+TEST_P(DnfProperty, NegateIsPointwiseComplement) {
+  Dnf d = RandomDnf(/*allow_neq=*/true);
+  Dnf neg = d.Negate();
+  ForGrid([&](const Assignment& pt) {
+    EXPECT_NE(d.Eval(pt).value(), neg.Eval(pt).value());
+  });
+}
+
+TEST_P(DnfProperty, DeMorgan) {
+  Dnf a = RandomDnf(false);
+  Dnf b = RandomDnf(false);
+  // not(a or b) == not(a) and not(b).
+  Dnf lhs = a.Or(b).Negate();
+  Dnf rhs = a.Negate().And(b.Negate());
+  ForGrid([&](const Assignment& pt) {
+    EXPECT_EQ(lhs.Eval(pt).value(), rhs.Eval(pt).value());
+  });
+}
+
+TEST_P(DnfProperty, AndDistributesOverOr) {
+  Dnf a = RandomDnf(false);
+  Dnf b = RandomDnf(false);
+  Dnf c = RandomDnf(false);
+  Dnf lhs = a.And(b.Or(c));
+  Dnf rhs = a.And(b).Or(a.And(c));
+  ForGrid([&](const Assignment& pt) {
+    EXPECT_EQ(lhs.Eval(pt).value(), rhs.Eval(pt).value());
+  });
+}
+
+TEST_P(DnfProperty, SplitDisequalitiesIsPointwiseIdentity) {
+  Dnf d = RandomDnf(/*allow_neq=*/true);
+  Dnf split = d.SplitDisequalities();
+  for (const Conjunction& c : split.disjuncts()) {
+    EXPECT_FALSE(c.HasDisequality());
+  }
+  ForGrid([&](const Assignment& pt) {
+    EXPECT_EQ(d.Eval(pt).value(), split.Eval(pt).value());
+  });
+}
+
+TEST_P(DnfProperty, SatisfiabilityMatchesWitness) {
+  Dnf d = RandomDnf(true);
+  bool sat = d.Satisfiable().value();
+  auto pt = d.FindPoint().value();
+  EXPECT_EQ(sat, pt.has_value());
+  if (pt.has_value()) {
+    EXPECT_TRUE(d.Eval(*pt).value());
+  }
+}
+
+TEST_P(DnfProperty, ExistentialConjoinSoundOnSamples) {
+  // (exists-free wrappers) And = pointwise conjunction on free vars.
+  Dnf a = RandomDnf(false);
+  Dnf b = RandomDnf(false);
+  DisjunctiveExistential ea = DisjunctiveExistential::FromDnf(a);
+  DisjunctiveExistential eb = DisjunctiveExistential::FromDnf(b);
+  DisjunctiveExistential both = ea.And(eb);
+  ForGrid([&](const Assignment& pt) {
+    EXPECT_EQ(both.EvalFree(pt).value(),
+              a.Eval(pt).value() && b.Eval(pt).value());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace lyric

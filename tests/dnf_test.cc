@@ -1,0 +1,163 @@
+#include "constraint/dnf.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class DnfTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+  Conjunction Interval(int64_t lo, int64_t hi) {
+    Conjunction c;
+    c.Add(LinearConstraint::Ge(X(), C(lo)));
+    c.Add(LinearConstraint::Le(X(), C(hi)));
+    return c;
+  }
+};
+
+TEST_F(DnfTest, EmptyIsFalse) {
+  Dnf d;
+  EXPECT_TRUE(d.IsFalse());
+  EXPECT_FALSE(d.Satisfiable().value());
+  EXPECT_EQ(d.ToString(), "false");
+}
+
+TEST_F(DnfTest, TrueDnf) {
+  EXPECT_TRUE(Dnf::True().IsTrue());
+  EXPECT_TRUE(Dnf::True().Satisfiable().value());
+}
+
+TEST_F(DnfTest, FalseDisjunctsDropped) {
+  Dnf d(Conjunction::False());
+  EXPECT_TRUE(d.IsFalse());
+}
+
+TEST_F(DnfTest, OrUnion) {
+  Dnf d = Dnf(Interval(0, 1)).Or(Dnf(Interval(5, 6)));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.Eval({{x_, Rational(1, 2)}}).value());
+  EXPECT_TRUE(d.Eval({{x_, Rational(5)}}).value());
+  EXPECT_FALSE(d.Eval({{x_, Rational(3)}}).value());
+}
+
+TEST_F(DnfTest, AndDistributes) {
+  Dnf a = Dnf(Interval(0, 3)).Or(Dnf(Interval(10, 13)));
+  Dnf b = Dnf(Interval(2, 11));
+  Dnf both = a.And(b);
+  // Intersections: [2,3] and [10,11].
+  EXPECT_TRUE(both.Eval({{x_, Rational(2)}}).value());
+  EXPECT_TRUE(both.Eval({{x_, Rational(11)}}).value());
+  EXPECT_FALSE(both.Eval({{x_, Rational(5)}}).value());
+}
+
+TEST_F(DnfTest, NegateConjunctionCoversComplement) {
+  Conjunction c = Interval(0, 1);
+  Dnf neg = Dnf::NegateConjunction(c);
+  for (int64_t v = -3; v <= 4; ++v) {
+    Assignment pt{{x_, Rational(v)}};
+    EXPECT_NE(c.Eval(pt).value(), neg.Eval(pt).value()) << v;
+  }
+}
+
+TEST_F(DnfTest, NegateTrueAndFalse) {
+  EXPECT_TRUE(Dnf::True().Negate().IsFalse());
+  EXPECT_TRUE(Dnf::False().Negate().IsTrue());
+}
+
+TEST_F(DnfTest, DoubleNegationSemantics) {
+  Dnf d = Dnf(Interval(0, 1)).Or(Dnf(Interval(3, 4)));
+  Dnf nn = d.Negate().Negate();
+  for (int64_t v = -1; v <= 5; ++v) {
+    Assignment pt{{x_, Rational(v)}};
+    EXPECT_EQ(d.Eval(pt).value(), nn.Eval(pt).value()) << v;
+  }
+}
+
+TEST_F(DnfTest, SplitDisequalities) {
+  Conjunction c = Interval(0, 2);
+  c.Add(LinearConstraint::Neq(X(), C(1)));
+  Dnf split = Dnf(c).SplitDisequalities();
+  EXPECT_EQ(split.size(), 2u);
+  for (const Conjunction& d : split.disjuncts()) {
+    EXPECT_FALSE(d.HasDisequality());
+  }
+  for (int64_t num = 0; num <= 8; ++num) {
+    Assignment pt{{x_, Rational(num, 4)}};
+    EXPECT_EQ(Dnf(c).Eval(pt).value(), split.Eval(pt).value()) << num;
+  }
+}
+
+TEST_F(DnfTest, SplitTwoDisequalitiesGivesFourPieces) {
+  Conjunction c = Interval(0, 3);
+  c.Add(LinearConstraint::Neq(X(), C(1)));
+  c.Add(LinearConstraint::Neq(X(), C(2)));
+  Dnf split = Dnf(c).SplitDisequalities();
+  // 2^2 candidates; the (x<1 and x>2) piece is infeasible but only
+  // syntactically dropped later — semantics must still match.
+  for (int64_t num = -1; num <= 13; ++num) {
+    Assignment pt{{x_, Rational(num, 4)}};
+    EXPECT_EQ(Dnf(c).Eval(pt).value(), split.Eval(pt).value()) << num;
+  }
+}
+
+TEST_F(DnfTest, EliminateVariableAcrossDisjuncts) {
+  // (y = x, 0<=x<=1) or (y = -x, 0<=x<=1); eliminate x -> -1<=y<=1 range
+  // split across two disjuncts.
+  Conjunction a;
+  a.Add(LinearConstraint::Eq(Y(), X()));
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  a.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction b;
+  b.Add(LinearConstraint::Eq(Y(), -X()));
+  b.Add(LinearConstraint::Ge(X(), C(0)));
+  b.Add(LinearConstraint::Le(X(), C(1)));
+  Dnf d = Dnf(a).Or(Dnf(b));
+  Dnf out = d.EliminateVariable(x_).value();
+  EXPECT_TRUE(out.Eval({{y_, Rational(1)}}).value());
+  EXPECT_TRUE(out.Eval({{y_, Rational(-1)}}).value());
+  EXPECT_FALSE(out.Eval({{y_, Rational(2)}}).value());
+}
+
+TEST_F(DnfTest, EliminateVariableSplitsDisequalityAutomatically) {
+  // 0 <= x <= 2, y = x, x != 1; eliminate x. The disequality mentions x,
+  // so the DNF layer must split, yielding y in [0,1) u (1,2].
+  Conjunction c = Interval(0, 2);
+  c.Add(LinearConstraint::Eq(Y(), X()));
+  c.Add(LinearConstraint::Neq(X(), C(1)));
+  Dnf out = Dnf(c).EliminateVariable(x_).value();
+  EXPECT_TRUE(out.Eval({{y_, Rational(1, 2)}}).value());
+  EXPECT_FALSE(out.Eval({{y_, Rational(1)}}).value());
+  EXPECT_TRUE(out.Eval({{y_, Rational(2)}}).value());
+  EXPECT_FALSE(out.Eval({{y_, Rational(3)}}).value());
+}
+
+TEST_F(DnfTest, FindPointSkipsEmptyDisjuncts) {
+  Conjunction empty;
+  empty.Add(LinearConstraint::Ge(X(), C(2)));
+  empty.Add(LinearConstraint::Le(X(), C(1)));
+  Dnf d = Dnf(empty).Or(Dnf(Interval(5, 6)));
+  auto pt = d.FindPoint().value();
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_GE(pt->at(x_), Rational(5));
+  EXPECT_LE(pt->at(x_), Rational(6));
+}
+
+TEST_F(DnfTest, RenameAndSubstitute) {
+  Dnf d(Interval(0, 1));
+  Dnf renamed = d.Rename({{x_, y_}});
+  EXPECT_EQ(renamed.FreeVars(), VarSet{y_});
+  Dnf substituted = d.Substitute(x_, Y() + C(5));
+  // y + 5 in [0,1] -> y in [-5,-4].
+  EXPECT_TRUE(substituted.Eval({{y_, Rational(-5)}}).value());
+  EXPECT_FALSE(substituted.Eval({{y_, Rational(0)}}).value());
+}
+
+}  // namespace
+}  // namespace lyric

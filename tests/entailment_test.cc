@@ -1,0 +1,197 @@
+#include "constraint/entailment.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class EntailmentTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+  Conjunction Box(int64_t lo, int64_t hi) {
+    Conjunction c;
+    c.Add(LinearConstraint::Ge(X(), C(lo)));
+    c.Add(LinearConstraint::Le(X(), C(hi)));
+    c.Add(LinearConstraint::Ge(Y(), C(lo)));
+    c.Add(LinearConstraint::Le(Y(), C(hi)));
+    return c;
+  }
+};
+
+TEST_F(EntailmentTest, SmallerBoxEntailsBigger) {
+  EXPECT_TRUE(Entailment::Entails(Dnf(Box(1, 2)), Dnf(Box(0, 3))).value());
+  EXPECT_FALSE(Entailment::Entails(Dnf(Box(0, 3)), Dnf(Box(1, 2))).value());
+}
+
+TEST_F(EntailmentTest, Reflexive) {
+  Dnf d(Box(0, 1));
+  EXPECT_TRUE(Entailment::Entails(d, d).value());
+}
+
+TEST_F(EntailmentTest, FalseEntailsEverything) {
+  EXPECT_TRUE(Entailment::Entails(Dnf::False(), Dnf(Box(0, 1))).value());
+  EXPECT_TRUE(Entailment::Entails(Dnf::False(), Dnf::False()).value());
+}
+
+TEST_F(EntailmentTest, EverythingEntailsTrue) {
+  EXPECT_TRUE(Entailment::Entails(Dnf(Box(0, 1)), Dnf::True()).value());
+  EXPECT_FALSE(Entailment::Entails(Dnf::True(), Dnf(Box(0, 1))).value());
+}
+
+TEST_F(EntailmentTest, UnionOnRightSide) {
+  // [0,1] |= [0,1/2] or [1/2,1] needs genuine case splitting: neither
+  // disjunct alone covers the left side.
+  Conjunction left;
+  left.Add(LinearConstraint::Ge(X(), C(0)));
+  left.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction lo;
+  lo.Add(LinearConstraint::Ge(X(), C(0)));
+  lo.Add(LinearConstraint::Le(X().Scale(Rational(2)), C(1)));
+  Conjunction hi;
+  hi.Add(LinearConstraint::Ge(X().Scale(Rational(2)), C(1)));
+  hi.Add(LinearConstraint::Le(X(), C(1)));
+  Dnf rhs = Dnf(lo).Or(Dnf(hi));
+  EXPECT_TRUE(Entailment::Entails(Dnf(left), rhs).value());
+  // With a gap ([0,1/2) u (1/2,1] minus the point 1/2... make the gap
+  // real: [0,1/3] or [2/3,1]) the entailment fails.
+  Conjunction lo2;
+  lo2.Add(LinearConstraint::Ge(X(), C(0)));
+  lo2.Add(LinearConstraint::Le(X().Scale(Rational(3)), C(1)));
+  Conjunction hi2;
+  hi2.Add(LinearConstraint::Ge(X().Scale(Rational(3)), C(2)));
+  hi2.Add(LinearConstraint::Le(X(), C(1)));
+  EXPECT_FALSE(Entailment::Entails(Dnf(left), Dnf(lo2).Or(Dnf(hi2))).value());
+}
+
+TEST_F(EntailmentTest, EqualityEntailment) {
+  // x = 1 |= x >= 0; x >= 0 does not entail x = 1.
+  Conjunction eq;
+  eq.Add(LinearConstraint::Eq(X(), C(1)));
+  Conjunction ge;
+  ge.Add(LinearConstraint::Ge(X(), C(0)));
+  EXPECT_TRUE(Entailment::Entails(Dnf(eq), Dnf(ge)).value());
+  EXPECT_FALSE(Entailment::Entails(Dnf(ge), Dnf(eq)).value());
+}
+
+TEST_F(EntailmentTest, StrictVsNonStrict) {
+  Conjunction open;
+  open.Add(LinearConstraint::Lt(X(), C(1)));
+  Conjunction closed;
+  closed.Add(LinearConstraint::Le(X(), C(1)));
+  EXPECT_TRUE(Entailment::Entails(Dnf(open), Dnf(closed)).value());
+  EXPECT_FALSE(Entailment::Entails(Dnf(closed), Dnf(open)).value());
+}
+
+TEST_F(EntailmentTest, PaperDrawerCenterExample) {
+  // From §4.1: C(p,q) |= p = 0 — "every possible center of the drawer
+  // must be in the middle of the desk". Here C is p = 0, -2 <= q <= 0.
+  VarId p = Variable::Intern("p");
+  VarId q = Variable::Intern("q");
+  Conjunction center;
+  center.Add(LinearConstraint::Eq(LinearExpr::Var(p), C(0)));
+  center.Add(LinearConstraint::Ge(LinearExpr::Var(q), C(-2)));
+  center.Add(LinearConstraint::Le(LinearExpr::Var(q), C(0)));
+  Conjunction middle;
+  middle.Add(LinearConstraint::Eq(LinearExpr::Var(p), C(0)));
+  EXPECT_TRUE(Entailment::Entails(Dnf(center), Dnf(middle)).value());
+  // The my_desk drawer_center (p = -2) does NOT satisfy it.
+  Conjunction off_center;
+  off_center.Add(LinearConstraint::Eq(LinearExpr::Var(p), C(-2)));
+  off_center.Add(LinearConstraint::Ge(LinearExpr::Var(q), C(-2)));
+  off_center.Add(LinearConstraint::Le(LinearExpr::Var(q), C(0)));
+  EXPECT_FALSE(Entailment::Entails(Dnf(off_center), Dnf(middle)).value());
+}
+
+TEST_F(EntailmentTest, ContainsOverlapsDisjoint) {
+  Dnf big(Box(0, 10));
+  Dnf small(Box(2, 3));
+  Dnf other(Box(20, 30));
+  Dnf touching(Box(10, 12));
+  EXPECT_TRUE(Entailment::Contains(big, small).value());
+  EXPECT_FALSE(Entailment::Contains(small, big).value());
+  EXPECT_TRUE(Entailment::Overlaps(big, small).value());
+  EXPECT_TRUE(Entailment::Overlaps(big, touching).value());  // Shared edge.
+  EXPECT_TRUE(Entailment::Disjoint(big, other).value());
+  EXPECT_FALSE(Entailment::Disjoint(big, touching).value());
+}
+
+TEST_F(EntailmentTest, EquivalentDifferentSyntax) {
+  // {x >= 0, x <= 1} == {2x <= 2, -x <= 0} as point sets.
+  Conjunction a;
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  a.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction b;
+  b.Add(LinearConstraint::Le(X().Scale(Rational(2)), C(2)));
+  b.Add(LinearConstraint::Le(-X(), C(0)));
+  EXPECT_TRUE(Entailment::Equivalent(Dnf(a), Dnf(b)).value());
+}
+
+TEST_F(EntailmentTest, SplitUnionEquivalence) {
+  // [0,2] == [0,1] u [1,2].
+  Conjunction whole;
+  whole.Add(LinearConstraint::Ge(X(), C(0)));
+  whole.Add(LinearConstraint::Le(X(), C(2)));
+  Conjunction lo;
+  lo.Add(LinearConstraint::Ge(X(), C(0)));
+  lo.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction hi;
+  hi.Add(LinearConstraint::Ge(X(), C(1)));
+  hi.Add(LinearConstraint::Le(X(), C(2)));
+  EXPECT_TRUE(
+      Entailment::Equivalent(Dnf(whole), Dnf(lo).Or(Dnf(hi))).value());
+}
+
+// Property: entailment agrees with pointwise implication on a sampled
+// grid (soundness direction: if lhs |= rhs then every sampled lhs point
+// is an rhs point; completeness spot-check: if entailment fails, a grid
+// counterexample often exists, but we only assert soundness).
+class EntailmentSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntailmentSoundness, EntailedMeansPointwise) {
+  std::mt19937_64 rng(GetParam() * 31337);
+  VarId x = Variable::Intern("ex");
+  VarId y = Variable::Intern("ey");
+  auto random_dnf = [&]() {
+    Dnf d;
+    int disjuncts = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < disjuncts; ++i) {
+      Conjunction c;
+      for (int j = 0; j < 3; ++j) {
+        LinearExpr e;
+        e.AddTerm(x, Rational(static_cast<int64_t>(rng() % 5) - 2));
+        e.AddTerm(y, Rational(static_cast<int64_t>(rng() % 5) - 2));
+        e.AddConstant(Rational(static_cast<int64_t>(rng() % 9) - 4));
+        c.Add(LinearConstraint(e, RelOp::kLe));
+      }
+      d.AddDisjunct(std::move(c));
+    }
+    return d;
+  };
+  Dnf lhs = random_dnf();
+  Dnf rhs = random_dnf();
+  bool entails = Entailment::Entails(lhs, rhs).value();
+  bool pointwise = true;
+  for (int64_t xv = -4; xv <= 4; ++xv) {
+    for (int64_t yv = -4; yv <= 4; ++yv) {
+      Assignment pt{{x, Rational(xv)}, {y, Rational(yv)}};
+      if (lhs.Eval(pt).value() && !rhs.Eval(pt).value()) pointwise = false;
+    }
+  }
+  if (entails) {
+    EXPECT_TRUE(pointwise);
+  }
+  // The converse cannot be asserted from a grid sample alone.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntailmentSoundness, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace lyric

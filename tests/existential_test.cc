@@ -1,0 +1,188 @@
+#include "constraint/existential.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class ExistentialTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+  VarId z_ = Variable::Intern("z");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr Z() { return LinearExpr::Var(z_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+  // exists y . (x = 2y and 0 <= y <= 1)  ==  0 <= x <= 2.
+  ExistentialConjunction DoubledInterval() {
+    Conjunction c;
+    c.Add(LinearConstraint::Eq(X(), Y().Scale(Rational(2))));
+    c.Add(LinearConstraint::Ge(Y(), C(0)));
+    c.Add(LinearConstraint::Le(Y(), C(1)));
+    return ExistentialConjunction(c, VarSet{y_});
+  }
+};
+
+TEST_F(ExistentialTest, BoundIntersectedWithBodyVars) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  ExistentialConjunction ec(c, VarSet{y_});  // y not in body.
+  EXPECT_TRUE(ec.bound().empty());
+  EXPECT_EQ(ec.FreeVars(), VarSet{x_});
+}
+
+TEST_F(ExistentialTest, FreeVars) {
+  ExistentialConjunction ec = DoubledInterval();
+  EXPECT_EQ(ec.FreeVars(), VarSet{x_});
+  EXPECT_EQ(ec.bound(), VarSet{y_});
+}
+
+TEST_F(ExistentialTest, EvalFreeChecksExistence) {
+  ExistentialConjunction ec = DoubledInterval();
+  EXPECT_TRUE(ec.EvalFree({{x_, Rational(0)}}).value());
+  EXPECT_TRUE(ec.EvalFree({{x_, Rational(2)}}).value());
+  EXPECT_TRUE(ec.EvalFree({{x_, Rational(1, 3)}}).value());
+  EXPECT_FALSE(ec.EvalFree({{x_, Rational(3)}}).value());
+  EXPECT_FALSE(ec.EvalFree({{x_, Rational(-1)}}).value());
+}
+
+TEST_F(ExistentialTest, ToConjunctionEliminates) {
+  Conjunction out = DoubledInterval().ToConjunction().value();
+  EXPECT_FALSE(out.FreeVars().count(y_));
+  EXPECT_TRUE(out.Eval({{x_, Rational(2)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(5, 2)}}).value());
+}
+
+TEST_F(ExistentialTest, ConjoinRenamesApart) {
+  // (exists y . x = 2y, 0<=y<=1) and (exists y . z = y, 0<=y<=1):
+  // the two y's are unrelated; conjunction must not identify them.
+  Conjunction c2;
+  c2.Add(LinearConstraint::Eq(Z(), Y()));
+  c2.Add(LinearConstraint::Ge(Y(), C(0)));
+  c2.Add(LinearConstraint::Le(Y(), C(1)));
+  ExistentialConjunction other(c2, VarSet{y_});
+  ExistentialConjunction both = DoubledInterval().Conjoin(other);
+  EXPECT_EQ(both.FreeVars(), (VarSet{x_, z_}));
+  // x = 2, z = 0 requires y=1 in the first and y=0 in the second — only
+  // possible if the quantifiers stayed separate.
+  EXPECT_TRUE(
+      both.EvalFree({{x_, Rational(2)}, {z_, Rational(0)}}).value());
+}
+
+TEST_F(ExistentialTest, ProjectMarksBound) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X() + Z(), C(1)));
+  ExistentialConjunction ec(c);
+  ExistentialConjunction projected = ec.Project(VarSet{x_});
+  EXPECT_EQ(projected.FreeVars(), VarSet{x_});
+  EXPECT_EQ(projected.bound(), VarSet{z_});
+  // Any x extends (z can absorb), so projection is everywhere-true.
+  EXPECT_TRUE(projected.EvalFree({{x_, Rational(1000)}}).value());
+}
+
+TEST_F(ExistentialTest, RenameFreeAvoidsCapture) {
+  // Renaming free x to the bound name y must not capture.
+  ExistentialConjunction ec = DoubledInterval();
+  ExistentialConjunction renamed = ec.RenameFree({{x_, y_}});
+  EXPECT_EQ(renamed.FreeVars(), VarSet{y_});
+  EXPECT_TRUE(renamed.EvalFree({{y_, Rational(2)}}).value());
+  EXPECT_FALSE(renamed.EvalFree({{y_, Rational(3)}}).value());
+}
+
+TEST_F(ExistentialTest, SubstituteFreeAvoidsCapture) {
+  // Substituting x := y + 1 where y is bound must freshen the quantifier.
+  ExistentialConjunction ec = DoubledInterval();
+  ExistentialConjunction out = ec.SubstituteFree(x_, Y() + C(1));
+  // Now free var is y, meaning y + 1 in [0, 2] -> y in [-1, 1].
+  EXPECT_TRUE(out.EvalFree({{y_, Rational(-1)}}).value());
+  EXPECT_TRUE(out.EvalFree({{y_, Rational(1)}}).value());
+  EXPECT_FALSE(out.EvalFree({{y_, Rational(2)}}).value());
+}
+
+TEST_F(ExistentialTest, ToStringShowsQuantifier) {
+  std::string s = DoubledInterval().ToString();
+  EXPECT_NE(s.find("exists"), std::string::npos);
+}
+
+TEST_F(ExistentialTest, DisjunctiveExistentialSatisfiable) {
+  DisjunctiveExistential de;
+  EXPECT_TRUE(de.IsFalse());
+  EXPECT_FALSE(de.Satisfiable().value());
+  de.AddDisjunct(DoubledInterval());
+  EXPECT_TRUE(de.Satisfiable().value());
+}
+
+TEST_F(ExistentialTest, DisjunctiveExistentialToDnf) {
+  DisjunctiveExistential de(DoubledInterval());
+  Dnf d = de.ToDnf().value();
+  EXPECT_FALSE(d.FreeVars().count(y_));
+  EXPECT_TRUE(d.Eval({{x_, Rational(1)}}).value());
+  EXPECT_FALSE(d.Eval({{x_, Rational(3)}}).value());
+}
+
+TEST_F(ExistentialTest, ToDnfSplitsDisequalityOnBoundVar) {
+  // exists y . (x = y and y != 1 and 0 <= y <= 2): x in [0,1) u (1,2].
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y()));
+  c.Add(LinearConstraint::Neq(Y(), C(1)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  c.Add(LinearConstraint::Le(Y(), C(2)));
+  DisjunctiveExistential de(ExistentialConjunction(c, VarSet{y_}));
+  Dnf d = de.ToDnf().value();
+  EXPECT_TRUE(d.Eval({{x_, Rational(1, 2)}}).value());
+  EXPECT_FALSE(d.Eval({{x_, Rational(1)}}).value());
+  EXPECT_TRUE(d.Eval({{x_, Rational(2)}}).value());
+}
+
+TEST_F(ExistentialTest, EntailsQuantifiedLeft) {
+  // exists y . (x = 2y, 0<=y<=1)  |=  0 <= x <= 2.
+  DisjunctiveExistential lhs(DoubledInterval());
+  Conjunction rhs_c;
+  rhs_c.Add(LinearConstraint::Ge(X(), C(0)));
+  rhs_c.Add(LinearConstraint::Le(X(), C(2)));
+  DisjunctiveExistential rhs = DisjunctiveExistential::FromConjunction(rhs_c);
+  EXPECT_TRUE(lhs.Entails(rhs).value());
+  EXPECT_TRUE(rhs.Entails(lhs).value());  // Also the converse here.
+}
+
+TEST_F(ExistentialTest, EntailsQuantifiedRight) {
+  // 0 <= x <= 1 |= exists y . (x = y).
+  Conjunction lhs_c;
+  lhs_c.Add(LinearConstraint::Ge(X(), C(0)));
+  lhs_c.Add(LinearConstraint::Le(X(), C(1)));
+  Conjunction rhs_c;
+  rhs_c.Add(LinearConstraint::Eq(X(), Y()));
+  DisjunctiveExistential lhs = DisjunctiveExistential::FromConjunction(lhs_c);
+  DisjunctiveExistential rhs(ExistentialConjunction(rhs_c, VarSet{y_}));
+  EXPECT_TRUE(lhs.Entails(rhs).value());
+}
+
+TEST_F(ExistentialTest, FindPointRestrictsToFreeVars) {
+  DisjunctiveExistential de(DoubledInterval());
+  auto pt = de.FindPoint().value();
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(pt->size(), 1u);
+  EXPECT_TRUE(pt->count(x_));
+  EXPECT_GE(pt->at(x_), Rational(0));
+  EXPECT_LE(pt->at(x_), Rational(2));
+}
+
+TEST_F(ExistentialTest, AndDistributes) {
+  // (x in [0,2]) and (x in [1,3]) via existential wrappers = [1,2].
+  Conjunction a;
+  a.Add(LinearConstraint::Ge(X(), C(0)));
+  a.Add(LinearConstraint::Le(X(), C(2)));
+  Conjunction b;
+  b.Add(LinearConstraint::Ge(X(), C(1)));
+  b.Add(LinearConstraint::Le(X(), C(3)));
+  DisjunctiveExistential both = DisjunctiveExistential::FromConjunction(a).And(
+      DisjunctiveExistential::FromConjunction(b));
+  EXPECT_TRUE(both.EvalFree({{x_, Rational(3, 2)}}).value());
+  EXPECT_FALSE(both.EvalFree({{x_, Rational(1, 2)}}).value());
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,72 @@
+#include "constraint/family.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+constexpr ConstraintFamily kC = ConstraintFamily::kConjunctive;
+constexpr ConstraintFamily kEC = ConstraintFamily::kExistentialConjunctive;
+constexpr ConstraintFamily kD = ConstraintFamily::kDisjunctive;
+constexpr ConstraintFamily kDE = ConstraintFamily::kDisjunctiveExistential;
+
+TEST(FamilyTest, JoinIsIdempotentAndCommutative) {
+  for (ConstraintFamily a : {kC, kEC, kD, kDE}) {
+    EXPECT_EQ(FamilyJoin(a, a), a);
+    for (ConstraintFamily b : {kC, kEC, kD, kDE}) {
+      EXPECT_EQ(FamilyJoin(a, b), FamilyJoin(b, a));
+    }
+  }
+}
+
+TEST(FamilyTest, LatticeShape) {
+  // Conjunctive is the bottom.
+  EXPECT_EQ(FamilyJoin(kC, kEC), kEC);
+  EXPECT_EQ(FamilyJoin(kC, kD), kD);
+  EXPECT_EQ(FamilyJoin(kC, kDE), kDE);
+  // The incomparable middle joins at the top (§3.1: "disjunctive
+  // existential constraints include all the others").
+  EXPECT_EQ(FamilyJoin(kEC, kD), kDE);
+  EXPECT_EQ(FamilyJoin(kEC, kDE), kDE);
+  EXPECT_EQ(FamilyJoin(kD, kDE), kDE);
+}
+
+TEST(FamilyTest, JoinIsAssociative) {
+  for (ConstraintFamily a : {kC, kEC, kD, kDE}) {
+    for (ConstraintFamily b : {kC, kEC, kD, kDE}) {
+      for (ConstraintFamily c : {kC, kEC, kD, kDE}) {
+        EXPECT_EQ(FamilyJoin(FamilyJoin(a, b), c),
+                  FamilyJoin(a, FamilyJoin(b, c)));
+      }
+    }
+  }
+}
+
+TEST(FamilyTest, Inclusion) {
+  // Every family includes itself and conjunctive.
+  for (ConstraintFamily f : {kC, kEC, kD, kDE}) {
+    EXPECT_TRUE(FamilyIncluded(f, f));
+    EXPECT_TRUE(FamilyIncluded(kC, f));
+    EXPECT_TRUE(FamilyIncluded(f, kDE));
+  }
+  EXPECT_FALSE(FamilyIncluded(kEC, kD));
+  EXPECT_FALSE(FamilyIncluded(kD, kEC));
+  EXPECT_FALSE(FamilyIncluded(kDE, kC));
+  EXPECT_FALSE(FamilyIncluded(kD, kC));
+}
+
+TEST(FamilyTest, PredicatesAndNames) {
+  EXPECT_FALSE(FamilyHasExistentials(kC));
+  EXPECT_TRUE(FamilyHasExistentials(kEC));
+  EXPECT_FALSE(FamilyHasExistentials(kD));
+  EXPECT_TRUE(FamilyHasExistentials(kDE));
+  EXPECT_FALSE(FamilyHasDisjunction(kC));
+  EXPECT_FALSE(FamilyHasDisjunction(kEC));
+  EXPECT_TRUE(FamilyHasDisjunction(kD));
+  EXPECT_TRUE(FamilyHasDisjunction(kDE));
+  EXPECT_STREQ(ConstraintFamilyToString(kC), "conjunctive");
+  EXPECT_STREQ(ConstraintFamilyToString(kDE), "disjunctive-existential");
+}
+
+}  // namespace
+}  // namespace lyric

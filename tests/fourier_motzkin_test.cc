@@ -1,0 +1,249 @@
+#include "constraint/fourier_motzkin.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/simplex.h"
+
+namespace lyric {
+namespace {
+
+class FourierMotzkinTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+  VarId z_ = Variable::Intern("z");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr Z() { return LinearExpr::Var(z_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+};
+
+TEST_F(FourierMotzkinTest, EliminateThroughEquality) {
+  // y = x + 1, 0 <= y <= 3; eliminating y gives -1 <= x <= 2.
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(Y(), X() + C(1)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  c.Add(LinearConstraint::Le(Y(), C(3)));
+  Conjunction out = FourierMotzkin::EliminateVariable(c, y_).value();
+  EXPECT_FALSE(out.FreeVars().count(y_));
+  EXPECT_TRUE(out.Eval({{x_, Rational(0)}}).value());
+  EXPECT_TRUE(out.Eval({{x_, Rational(-1)}}).value());
+  EXPECT_TRUE(out.Eval({{x_, Rational(2)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(-2)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(3)}}).value());
+}
+
+TEST_F(FourierMotzkinTest, EliminateByCombination) {
+  // x <= y, y <= z: eliminating y yields x <= z.
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), Y()));
+  c.Add(LinearConstraint::Le(Y(), Z()));
+  Conjunction out = FourierMotzkin::EliminateVariable(c, y_).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.atoms()[0], LinearConstraint::Le(X(), Z()));
+}
+
+TEST_F(FourierMotzkinTest, StrictnessPropagates) {
+  // x < y, y <= z  =>  x < z.
+  Conjunction c;
+  c.Add(LinearConstraint::Lt(X(), Y()));
+  c.Add(LinearConstraint::Le(Y(), Z()));
+  Conjunction out = FourierMotzkin::EliminateVariable(c, y_).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.atoms()[0].op(), RelOp::kLt);
+}
+
+TEST_F(FourierMotzkinTest, UnboundedSideDropsOut) {
+  // Only lower bounds on y: eliminating y keeps just the unrelated atom.
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(Y(), X()));
+  c.Add(LinearConstraint::Le(X(), C(5)));
+  Conjunction out = FourierMotzkin::EliminateVariable(c, y_).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.atoms()[0], LinearConstraint::Le(X(), C(5)));
+}
+
+TEST_F(FourierMotzkinTest, DisequalityOnEliminatedVarRejected) {
+  Conjunction c;
+  c.Add(LinearConstraint::Neq(Y(), C(0)));
+  auto r = FourierMotzkin::EliminateVariable(c, y_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(FourierMotzkinTest, InfeasibleDetectedDuringElimination) {
+  // x <= y <= x - 1 is infeasible; elimination exposes 0 <= -1.
+  Conjunction c;
+  c.Add(LinearConstraint::Le(X(), Y()));
+  c.Add(LinearConstraint::Le(Y(), X() - C(1)));
+  Conjunction out = FourierMotzkin::EliminateVariable(c, y_).value();
+  EXPECT_EQ(out, Conjunction::False());
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoOneVarLpInterval) {
+  // Triangle 0 <= x, 0 <= y, x + y <= 4: projection on x is [0, 4].
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  c.Add(LinearConstraint::Le(X() + Y(), C(4)));
+  Conjunction out = FourierMotzkin::ProjectOntoAtMostOne(c, x_).value();
+  EXPECT_TRUE(out.Eval({{x_, Rational(0)}}).value());
+  EXPECT_TRUE(out.Eval({{x_, Rational(4)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(5)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(-1)}}).value());
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoOneVarOpenEndpoint) {
+  // x < y < 1, x >= 0: projection on x is [0, 1).
+  Conjunction c;
+  c.Add(LinearConstraint::Lt(X(), Y()));
+  c.Add(LinearConstraint::Lt(Y(), C(1)));
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  Conjunction out = FourierMotzkin::ProjectOntoAtMostOne(c, x_).value();
+  EXPECT_TRUE(out.Eval({{x_, Rational(0)}}).value());
+  EXPECT_TRUE(out.Eval({{x_, Rational(1, 2)}}).value());
+  EXPECT_FALSE(out.Eval({{x_, Rational(1)}}).value());
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoOneVarPointInterval) {
+  // x = 3 after eliminating y from {x = y, y = 3}.
+  Conjunction c;
+  c.Add(LinearConstraint::Eq(X(), Y()));
+  c.Add(LinearConstraint::Eq(Y(), C(3)));
+  Conjunction out = FourierMotzkin::ProjectOntoAtMostOne(c, x_).value();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.atoms()[0], LinearConstraint::Eq(X(), C(3)));
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoZeroVars) {
+  Conjunction sat;
+  sat.Add(LinearConstraint::Le(X(), C(1)));
+  EXPECT_TRUE(FourierMotzkin::ProjectOntoAtMostOne(sat, std::nullopt)
+                  .value()
+                  .IsTrue());
+  Conjunction unsat;
+  unsat.Add(LinearConstraint::Le(X(), C(0)));
+  unsat.Add(LinearConstraint::Ge(X(), C(1)));
+  EXPECT_EQ(FourierMotzkin::ProjectOntoAtMostOne(unsat, std::nullopt).value(),
+            Conjunction::False());
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoUnconstrainedVar) {
+  Conjunction c;
+  c.Add(LinearConstraint::Le(Y(), C(1)));
+  Conjunction out = FourierMotzkin::ProjectOntoAtMostOne(c, x_).value();
+  EXPECT_TRUE(out.IsTrue());
+}
+
+TEST_F(FourierMotzkinTest, ProjectOntoCarriesKeptVarDisequality) {
+  // 0 <= x <= 1, y = x, x != 1/2 kept as a puncture.
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Le(X(), C(1)));
+  c.Add(LinearConstraint::Eq(Y(), X()));
+  c.Add(LinearConstraint::Neq(X().Scale(Rational(2)), C(1)));
+  Conjunction out = FourierMotzkin::ProjectOntoAtMostOne(c, x_).value();
+  EXPECT_FALSE(out.Eval({{x_, Rational(1, 2)}}).value());
+  EXPECT_TRUE(out.Eval({{x_, Rational(1, 4)}}).value());
+}
+
+TEST_F(FourierMotzkinTest, GeneralProjectTwoOfThree) {
+  // Box 0<=x,y,z<=1 with x + y + z <= 3/2: project onto (x, y).
+  Conjunction c;
+  for (const LinearExpr& v : {X(), Y(), Z()}) {
+    c.Add(LinearConstraint::Ge(v, C(0)));
+    c.Add(LinearConstraint::Le(v, C(1)));
+  }
+  c.Add(LinearConstraint::Le(X() + Y() + Z(),
+                             LinearExpr::Constant(Rational(3, 2))));
+  Conjunction out = FourierMotzkin::ProjectOnto(c, VarSet{x_, y_}).value();
+  EXPECT_FALSE(out.FreeVars().count(z_));
+  // (1, 1/2): need z <= 0 and z >= 0 -> z = 0 works.
+  EXPECT_TRUE(out.Eval({{x_, Rational(1)}, {y_, Rational(1, 2)}}).value());
+  // (1, 1): x+y = 2 > 3/2 even with z = 0 -> excluded.
+  EXPECT_FALSE(out.Eval({{x_, Rational(1)}, {y_, Rational(1)}}).value());
+}
+
+// Property: projection is sound and complete on sampled points — a kept
+// point satisfies the projection iff some value of the eliminated variable
+// extends it into the original system.
+class FmSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmSoundness, ProjectionMatchesExistentialTruth) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  VarId x = Variable::Intern("px");
+  VarId y = Variable::Intern("py");
+  VarId e = Variable::Intern("pe");
+  auto coeff = [&]() {
+    return Rational(static_cast<int64_t>(rng() % 7) - 3);
+  };
+  Conjunction c;
+  for (int i = 0; i < 6; ++i) {
+    LinearExpr expr;
+    expr.AddTerm(x, coeff());
+    expr.AddTerm(y, coeff());
+    expr.AddTerm(e, coeff());
+    expr.AddConstant(Rational(static_cast<int64_t>(rng() % 9) - 4));
+    c.Add(LinearConstraint(expr, (rng() % 3 == 0) ? RelOp::kLt : RelOp::kLe));
+  }
+  Conjunction projected =
+      FourierMotzkin::EliminateVariable(c, e).value();
+  for (int t = 0; t < 25; ++t) {
+    Assignment pt{{x, Rational(static_cast<int64_t>(rng() % 11) - 5)},
+                  {y, Rational(static_cast<int64_t>(rng() % 11) - 5)}};
+    bool in_projection = projected.Eval(pt).value();
+    // exists e . c(pt, e)?
+    Conjunction grounded = c.Substitute(x, LinearExpr::Constant(pt[x]))
+                               .Substitute(y, LinearExpr::Constant(pt[y]));
+    bool extends = Simplex::IsSatisfiable(grounded).value();
+    EXPECT_EQ(in_projection, extends)
+        << "seed=" << GetParam() << " point x=" << pt[x] << " y=" << pt[y]
+        << "\n c = " << c.ToString()
+        << "\n proj = " << projected.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmSoundness, ::testing::Range(1, 16));
+
+// Property: the LP-interval projection agrees with iterated FM when both
+// apply.
+class FmVsLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmVsLp, IntervalProjectionMatchesIteratedFm) {
+  std::mt19937_64 rng(GetParam() * 104729);
+  VarId x = Variable::Intern("qx");
+  VarId a = Variable::Intern("qa");
+  VarId b = Variable::Intern("qb");
+  auto coeff = [&]() {
+    return Rational(static_cast<int64_t>(rng() % 5) - 2);
+  };
+  Conjunction c;
+  // Keep the system feasible by making all constraints loose at origin.
+  for (int i = 0; i < 5; ++i) {
+    LinearExpr expr;
+    expr.AddTerm(x, coeff());
+    expr.AddTerm(a, coeff());
+    expr.AddTerm(b, coeff());
+    c.Add(LinearConstraint::Le(
+        expr, LinearExpr::Constant(
+                  Rational(static_cast<int64_t>(rng() % 5)))));
+  }
+  Conjunction via_lp =
+      FourierMotzkin::ProjectOntoAtMostOne(c, x).value();
+  Conjunction via_fm = FourierMotzkin::ProjectOnto(c, VarSet{x}).value();
+  for (int64_t v = -8; v <= 8; ++v) {
+    Assignment pt{{x, Rational(v)}};
+    EXPECT_EQ(via_lp.Eval(pt).value(), via_fm.Eval(pt).value())
+        << "x=" << v << "\n c = " << c.ToString()
+        << "\n lp = " << via_lp.ToString()
+        << "\n fm = " << via_fm.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmVsLp, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace lyric

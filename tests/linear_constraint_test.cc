@@ -1,0 +1,119 @@
+#include "constraint/linear_constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class LinearConstraintTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+};
+
+TEST_F(LinearConstraintTest, GeAndGtFlipToLeAndLt) {
+  LinearConstraint ge = LinearConstraint::Ge(X(), C(3));  // x >= 3
+  EXPECT_EQ(ge.op(), RelOp::kLe);
+  EXPECT_EQ(ge.ToString(), "-x <= -3");
+  LinearConstraint gt = LinearConstraint::Gt(X(), C(3));
+  EXPECT_EQ(gt.op(), RelOp::kLt);
+}
+
+TEST_F(LinearConstraintTest, ScalingNormalization) {
+  // 2x <= 4 and x <= 2 normalize identically.
+  EXPECT_EQ(LinearConstraint::Le(X().Scale(Rational(2)), C(4)),
+            LinearConstraint::Le(X(), C(2)));
+  // x/2 <= 1 and x <= 2 normalize identically.
+  EXPECT_EQ(LinearConstraint::Le(X().Scale(Rational(1, 2)), C(1)),
+            LinearConstraint::Le(X(), C(2)));
+}
+
+TEST_F(LinearConstraintTest, EqualitySignNormalization) {
+  // x - y = 0 and y - x = 0 are the same atom.
+  EXPECT_EQ(LinearConstraint::Eq(X() - Y(), C(0)),
+            LinearConstraint::Eq(Y() - X(), C(0)));
+  // Same for disequalities.
+  EXPECT_EQ(LinearConstraint::Neq(X() - Y(), C(0)),
+            LinearConstraint::Neq(Y() - X(), C(0)));
+}
+
+TEST_F(LinearConstraintTest, InequalitySignsStayDistinct) {
+  EXPECT_NE(LinearConstraint::Le(X(), C(0)),
+            LinearConstraint::Le(-X(), C(0)));
+}
+
+TEST_F(LinearConstraintTest, ConstantTruth) {
+  EXPECT_EQ(LinearConstraint::Le(C(0), C(1)).ConstantTruth(), Truth::kTrue);
+  EXPECT_EQ(LinearConstraint::Le(C(1), C(0)).ConstantTruth(), Truth::kFalse);
+  EXPECT_EQ(LinearConstraint::Eq(C(2), C(2)).ConstantTruth(), Truth::kTrue);
+  EXPECT_EQ(LinearConstraint::Lt(C(2), C(2)).ConstantTruth(), Truth::kFalse);
+  EXPECT_EQ(LinearConstraint::Neq(C(2), C(3)).ConstantTruth(), Truth::kTrue);
+  EXPECT_EQ(LinearConstraint::Le(X(), C(0)).ConstantTruth(), Truth::kUnknown);
+}
+
+TEST_F(LinearConstraintTest, Eval) {
+  LinearConstraint c = LinearConstraint::Le(X() + Y(), C(3));
+  EXPECT_TRUE(c.Eval({{x_, Rational(1)}, {y_, Rational(2)}}).value());
+  EXPECT_FALSE(c.Eval({{x_, Rational(2)}, {y_, Rational(2)}}).value());
+  LinearConstraint strict = LinearConstraint::Lt(X(), C(1));
+  EXPECT_FALSE(strict.Eval({{x_, Rational(1)}}).value());
+  EXPECT_TRUE(strict.Eval({{x_, Rational(0)}}).value());
+}
+
+TEST_F(LinearConstraintTest, NegateEquality) {
+  LinearConstraint eq = LinearConstraint::Eq(X(), C(1));
+  auto neg = eq.Negate();
+  ASSERT_EQ(neg.size(), 2u);
+  // The two pieces are x < 1 and x > 1; together with x = 1 they tile R.
+  for (const Rational& v : {Rational(0), Rational(1), Rational(2)}) {
+    Assignment a{{x_, v}};
+    bool eq_holds = eq.Eval(a).value();
+    bool n0 = neg[0].Eval(a).value();
+    bool n1 = neg[1].Eval(a).value();
+    EXPECT_EQ(eq_holds, !(n0 || n1));
+    EXPECT_FALSE(n0 && n1);
+  }
+}
+
+TEST_F(LinearConstraintTest, NegateInequalities) {
+  LinearConstraint le = LinearConstraint::Le(X(), C(1));
+  auto neg = le.Negate();
+  ASSERT_EQ(neg.size(), 1u);
+  EXPECT_EQ(neg[0].op(), RelOp::kLt);
+  for (const Rational& v : {Rational(0), Rational(1), Rational(2)}) {
+    Assignment a{{x_, v}};
+    EXPECT_NE(le.Eval(a).value(), neg[0].Eval(a).value());
+  }
+}
+
+TEST_F(LinearConstraintTest, NegateDisequality) {
+  auto neg = LinearConstraint::Neq(X(), C(1)).Negate();
+  ASSERT_EQ(neg.size(), 1u);
+  EXPECT_EQ(neg[0], LinearConstraint::Eq(X(), C(1)));
+}
+
+TEST_F(LinearConstraintTest, Closure) {
+  EXPECT_EQ(LinearConstraint::Lt(X(), C(1)).Closure().op(), RelOp::kLe);
+  EXPECT_EQ(LinearConstraint::Le(X(), C(1)).Closure().op(), RelOp::kLe);
+  EXPECT_EQ(LinearConstraint::Eq(X(), C(1)).Closure().op(), RelOp::kEq);
+}
+
+TEST_F(LinearConstraintTest, SubstituteRenormalizes) {
+  // x + y <= 3 with x := 3 - y becomes constant-true 0 <= 0.
+  LinearConstraint c = LinearConstraint::Le(X() + Y(), C(3));
+  LinearConstraint out = c.Substitute(x_, C(3) - Y());
+  EXPECT_EQ(out.ConstantTruth(), Truth::kTrue);
+}
+
+TEST_F(LinearConstraintTest, ToStringMovesConstantRight) {
+  EXPECT_EQ(LinearConstraint::Le(X() + Y() + C(-3), C(0)).ToString(),
+            "x + y <= 3");
+  EXPECT_EQ(LinearConstraint::Eq(X(), C(6)).ToString(), "x = 6");
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,121 @@
+#include "constraint/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+class LinearExprTest : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("x");
+  VarId y_ = Variable::Intern("y");
+  VarId z_ = Variable::Intern("z");
+};
+
+TEST_F(LinearExprTest, ZeroExpr) {
+  LinearExpr e;
+  EXPECT_TRUE(e.IsConstant());
+  EXPECT_TRUE(e.constant().IsZero());
+  EXPECT_EQ(e.ToString(), "0");
+  EXPECT_TRUE(e.FreeVars().empty());
+}
+
+TEST_F(LinearExprTest, TermConstruction) {
+  LinearExpr e = LinearExpr::Term(Rational(2), x_);
+  EXPECT_EQ(e.Coeff(x_), Rational(2));
+  EXPECT_EQ(e.Coeff(y_), Rational(0));
+  EXPECT_EQ(e.FreeVars(), VarSet{x_});
+}
+
+TEST_F(LinearExprTest, ZeroCoefficientsNeverStored) {
+  LinearExpr e = LinearExpr::Var(x_);
+  e.AddTerm(x_, Rational(-1));
+  EXPECT_TRUE(e.IsConstant());
+  EXPECT_EQ(e, LinearExpr());
+  e.AddTerm(y_, Rational(0));
+  EXPECT_TRUE(e.terms().empty());
+}
+
+TEST_F(LinearExprTest, AdditionMergesTerms) {
+  LinearExpr a = LinearExpr::Term(Rational(2), x_) + LinearExpr::Var(y_);
+  LinearExpr b = LinearExpr::Term(Rational(3), x_) +
+                 LinearExpr::Constant(Rational(5));
+  LinearExpr sum = a + b;
+  EXPECT_EQ(sum.Coeff(x_), Rational(5));
+  EXPECT_EQ(sum.Coeff(y_), Rational(1));
+  EXPECT_EQ(sum.constant(), Rational(5));
+}
+
+TEST_F(LinearExprTest, Scale) {
+  LinearExpr e = LinearExpr::Term(Rational(2), x_) +
+                 LinearExpr::Constant(Rational(3));
+  LinearExpr s = e.Scale(Rational(1, 2));
+  EXPECT_EQ(s.Coeff(x_), Rational(1));
+  EXPECT_EQ(s.constant(), Rational(3, 2));
+  EXPECT_EQ(e.Scale(Rational(0)), LinearExpr());
+}
+
+TEST_F(LinearExprTest, Substitute) {
+  // x + 2y with x := 3z + 1  ->  3z + 2y + 1.
+  LinearExpr e = LinearExpr::Var(x_) + LinearExpr::Term(Rational(2), y_);
+  LinearExpr repl = LinearExpr::Term(Rational(3), z_) +
+                    LinearExpr::Constant(Rational(1));
+  LinearExpr out = e.Substitute(x_, repl);
+  EXPECT_EQ(out.Coeff(x_), Rational(0));
+  EXPECT_EQ(out.Coeff(y_), Rational(2));
+  EXPECT_EQ(out.Coeff(z_), Rational(3));
+  EXPECT_EQ(out.constant(), Rational(1));
+}
+
+TEST_F(LinearExprTest, SubstituteAbsentVarIsNoop) {
+  LinearExpr e = LinearExpr::Var(y_);
+  EXPECT_EQ(e.Substitute(x_, LinearExpr::Var(z_)), e);
+}
+
+TEST_F(LinearExprTest, Rename) {
+  LinearExpr e = LinearExpr::Var(x_) + LinearExpr::Term(Rational(2), y_);
+  std::map<VarId, VarId> renaming{{x_, z_}};
+  LinearExpr out = e.Rename(renaming);
+  EXPECT_EQ(out.Coeff(z_), Rational(1));
+  EXPECT_EQ(out.Coeff(y_), Rational(2));
+  EXPECT_EQ(out.Coeff(x_), Rational(0));
+}
+
+TEST_F(LinearExprTest, RenameMergingCollision) {
+  // x + 2y with y -> x merges into 3x.
+  LinearExpr e = LinearExpr::Var(x_) + LinearExpr::Term(Rational(2), y_);
+  std::map<VarId, VarId> renaming{{y_, x_}};
+  EXPECT_EQ(e.Rename(renaming).Coeff(x_), Rational(3));
+}
+
+TEST_F(LinearExprTest, Eval) {
+  LinearExpr e = LinearExpr::Term(Rational(2), x_) +
+                 LinearExpr::Term(Rational(-1), y_) +
+                 LinearExpr::Constant(Rational(7));
+  Assignment a{{x_, Rational(3)}, {y_, Rational(1, 2)}};
+  EXPECT_EQ(e.Eval(a).value(), Rational(25, 2));
+  Assignment missing{{x_, Rational(3)}};
+  EXPECT_FALSE(e.Eval(missing).ok());
+}
+
+TEST_F(LinearExprTest, ToStringReadable) {
+  LinearExpr e = LinearExpr::Term(Rational(2), x_) +
+                 LinearExpr::Term(Rational(-3), y_) +
+                 LinearExpr::Constant(Rational(-5));
+  EXPECT_EQ(e.ToString(), "2*x - 3*y - 5");
+  EXPECT_EQ(LinearExpr::Var(x_).ToString(), "x");
+  EXPECT_EQ((-LinearExpr::Var(x_)).ToString(), "-x");
+}
+
+TEST_F(LinearExprTest, CompareTotalOrder) {
+  LinearExpr a = LinearExpr::Var(x_);
+  LinearExpr b = LinearExpr::Var(y_);
+  LinearExpr c = LinearExpr::Var(x_) + LinearExpr::Constant(Rational(1));
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_EQ(a.Compare(b), -b.Compare(a) == 1 ? a.Compare(b) : a.Compare(b));
+  EXPECT_NE(a.Compare(c), 0);
+  EXPECT_EQ(a.Compare(c), -c.Compare(a));
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,189 @@
+#include "object/method.h"
+
+#include <gtest/gtest.h>
+
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+namespace lyric {
+namespace {
+
+class MethodTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = office::BuildOfficeDatabase(&db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+    ids_ = *ids;
+    ASSERT_TRUE(RegisterBuiltinCstMethods(&db_).ok());
+  }
+
+  Oid ExtentOid() {
+    return db_.GetAttribute(ids_.standard_desk, "extent").value().scalar();
+  }
+
+  Database db_;
+  office::OfficeIds ids_;
+};
+
+TEST_F(MethodTest, DynamicClassOf) {
+  EXPECT_EQ(db_.DynamicClassOf(ids_.standard_desk).value(), "Desk");
+  EXPECT_EQ(db_.DynamicClassOf(Oid::Int(3)).value(), "int");
+  EXPECT_EQ(db_.DynamicClassOf(Oid::Str("x")).value(), "string");
+  EXPECT_EQ(db_.DynamicClassOf(ExtentOid()).value(), "CST(2)");
+  EXPECT_TRUE(db_.DynamicClassOf(Oid::Symbol("ghost")).status().IsNotFound());
+}
+
+TEST_F(MethodTest, BuiltinDimension) {
+  Value v = db_.InvokeMethod(ExtentOid(), "dimension", {}).value();
+  EXPECT_EQ(v, Value::Scalar(Oid::Int(2)));
+}
+
+TEST_F(MethodTest, BuiltinSatisfiableAndBounded) {
+  EXPECT_EQ(db_.InvokeMethod(ExtentOid(), "satisfiable", {}).value(),
+            Value::Scalar(Oid::Bool(true)));
+  EXPECT_EQ(db_.InvokeMethod(ExtentOid(), "bounded", {}).value(),
+            Value::Scalar(Oid::Bool(true)));
+  // An unbounded object: w >= 0 over one dimension.
+  VarId w = Variable::Intern("w");
+  Conjunction half;
+  half.Add(LinearConstraint::Ge(LinearExpr::Var(w),
+                                LinearExpr::Constant(Rational(0))));
+  Oid half_oid =
+      db_.InternCst(CstObject::FromConjunction({w}, half).value()).value();
+  EXPECT_EQ(db_.InvokeMethod(half_oid, "bounded", {}).value(),
+            Value::Scalar(Oid::Bool(false)));
+}
+
+TEST_F(MethodTest, BuiltinConjoinIntersects) {
+  // extent ([-4,4]x[-2,2]) conjoin drawer extent ([-1,1]^2) = [-1,1]^2.
+  Oid drawer_extent =
+      db_.GetAttribute(ids_.the_drawer, "extent").value().scalar();
+  Value v =
+      db_.InvokeMethod(ExtentOid(), "conjoin", {drawer_extent}).value();
+  CstObject out = db_.GetCst(v.scalar()).value();
+  CstObject expected = office::BoxExtent(1, 1);
+  EXPECT_TRUE(out.EquivalentTo(expected).value());
+}
+
+TEST_F(MethodTest, BuiltinEntails) {
+  Oid drawer_extent =
+      db_.GetAttribute(ids_.the_drawer, "extent").value().scalar();
+  EXPECT_EQ(
+      db_.InvokeMethod(drawer_extent, "entails", {ExtentOid()}).value(),
+      Value::Scalar(Oid::Bool(true)));
+  EXPECT_EQ(
+      db_.InvokeMethod(ExtentOid(), "entails", {drawer_extent}).value(),
+      Value::Scalar(Oid::Bool(false)));
+}
+
+TEST_F(MethodTest, BuiltinComplement) {
+  Value v = db_.InvokeMethod(ExtentOid(), "complement", {}).value();
+  CstObject out = db_.GetCst(v.scalar()).value();
+  EXPECT_FALSE(out.Contains({Rational(0), Rational(0)}).value());
+  EXPECT_TRUE(out.Contains({Rational(9), Rational(0)}).value());
+}
+
+TEST_F(MethodTest, UnknownMethodNotFound) {
+  EXPECT_TRUE(db_.InvokeMethod(ExtentOid(), "teleport", {})
+                  .status()
+                  .IsNotFound());
+  // Arity mismatch is also a resolution failure.
+  EXPECT_TRUE(db_.InvokeMethod(ExtentOid(), "dimension", {Oid::Int(1)})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MethodTest, UserMethodWithInheritance) {
+  // Register footprint_area on Office_Object; Desk inherits it.
+  ASSERT_TRUE(db_.methods()
+                  .Register("Office_Object", "footprint_area",
+                            MethodSignature{{}, kRealClass, false},
+                            [](Database* d, const Oid& self,
+                               const std::vector<Oid>&) -> Result<Value> {
+                              LYRIC_ASSIGN_OR_RETURN(
+                                  Value ext, d->GetAttribute(self, "extent"));
+                              LYRIC_ASSIGN_OR_RETURN(
+                                  CstObject obj, d->GetCst(ext.scalar()));
+                              LYRIC_ASSIGN_OR_RETURN(auto box,
+                                                     obj.BoundingBox());
+                              Rational area =
+                                  (*box[0].upper - *box[0].lower) *
+                                  (*box[1].upper - *box[1].lower);
+                              return Value::Scalar(Oid::Real(area));
+                            })
+                  .ok());
+  Value v =
+      db_.InvokeMethod(ids_.standard_desk, "footprint_area", {}).value();
+  EXPECT_EQ(v, Value::Scalar(Oid::Real(Rational(32))));  // 8 x 4.
+}
+
+TEST_F(MethodTest, PolymorphicDispatchOnArguments) {
+  // scale(int) and scale(string) on Desk: first matching signature wins.
+  auto reg = [&](const std::string& arg_cls, const std::string& tag) {
+    ASSERT_TRUE(db_.methods()
+                    .Register("Desk", "scale",
+                              MethodSignature{{arg_cls}, kStringClass, false},
+                              [tag](Database*, const Oid&,
+                                    const std::vector<Oid>&)
+                                  -> Result<Value> {
+                                return Value::Scalar(Oid::Str(tag));
+                              })
+                    .ok());
+  };
+  reg(kIntClass, "by-int");
+  reg(kStringClass, "by-string");
+  EXPECT_EQ(db_.InvokeMethod(ids_.standard_desk, "scale", {Oid::Int(2)})
+                .value(),
+            Value::Scalar(Oid::Str("by-int")));
+  EXPECT_EQ(db_.InvokeMethod(ids_.standard_desk, "scale", {Oid::Str("x")})
+                .value(),
+            Value::Scalar(Oid::Str("by-string")));
+}
+
+TEST_F(MethodTest, ResultSignatureEnforced) {
+  ASSERT_TRUE(db_.methods()
+                  .Register("Desk", "lies",
+                            MethodSignature{{}, kIntClass, false},
+                            [](Database*, const Oid&, const std::vector<Oid>&)
+                                -> Result<Value> {
+                              return Value::Scalar(Oid::Str("not an int"));
+                            })
+                  .ok());
+  auto r = db_.InvokeMethod(ids_.standard_desk, "lies", {});
+  EXPECT_TRUE(r.status().IsTypeError());
+}
+
+TEST_F(MethodTest, ZeroAryMethodInPathExpression) {
+  // "An attribute is regarded as a 0-ary method": E.dimension works in a
+  // query path once E is bound to a CST oid.
+  Evaluator ev(&db_);
+  ResultSet r = ev.Execute(
+                      "SELECT E.dimension FROM Desk X WHERE X.extent[E]")
+                    .value();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Oid::Int(2));
+}
+
+TEST_F(MethodTest, MethodInWhereComparison) {
+  Evaluator ev(&db_);
+  ResultSet r = ev.Execute(
+                      "SELECT X FROM Desk X "
+                      "WHERE X.extent[E] and E.dimension = 2")
+                    .value();
+  EXPECT_EQ(r.size(), 1u);
+  ResultSet r2 = ev.Execute(
+                       "SELECT X FROM Desk X "
+                       "WHERE X.extent[E] and E.dimension = 3")
+                     .value();
+  EXPECT_EQ(r2.size(), 0u);
+}
+
+TEST_F(MethodTest, VisibleMethodsIncludesInherited) {
+  auto names = db_.methods().VisibleMethods(db_.schema(), "CST(2)");
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("dimension"));
+  EXPECT_TRUE(set.count("conjoin"));
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,97 @@
+#include "object/oid.h"
+
+#include <gtest/gtest.h>
+
+#include "object/value.h"
+
+namespace lyric {
+namespace {
+
+TEST(OidTest, KindsAndAccessors) {
+  EXPECT_EQ(Oid::Int(20).AsInt(), 20);
+  EXPECT_EQ(Oid::Real(Rational(1, 2)).AsReal(), Rational(1, 2));
+  EXPECT_EQ(Oid::Str("red").AsString(), "red");
+  EXPECT_TRUE(Oid::Bool(true).AsBool());
+  EXPECT_EQ(Oid::Symbol("my_desk").AsString(), "my_desk");
+  EXPECT_EQ(Oid::Cst("((@0) | @0 <= 1)").kind(), OidKind::kCst);
+}
+
+TEST(OidTest, NumericHelpers) {
+  EXPECT_TRUE(Oid::Int(3).IsNumeric());
+  EXPECT_TRUE(Oid::Real(Rational(3)).IsNumeric());
+  EXPECT_FALSE(Oid::Str("3").IsNumeric());
+  EXPECT_EQ(Oid::Int(3).AsNumeric(), Rational(3));
+  EXPECT_EQ(Oid::Real(Rational(1, 3)).AsNumeric(), Rational(1, 3));
+}
+
+TEST(OidTest, EqualityWithinKind) {
+  EXPECT_EQ(Oid::Int(5), Oid::Int(5));
+  EXPECT_NE(Oid::Int(5), Oid::Int(6));
+  EXPECT_EQ(Oid::Symbol("a"), Oid::Symbol("a"));
+  EXPECT_NE(Oid::Symbol("a"), Oid::Str("a"));  // Kinds differ.
+  EXPECT_NE(Oid::Int(1), Oid::Bool(true));
+}
+
+TEST(OidTest, FunctionalOids) {
+  // §2.1: secretary(dept77); identity is function name + arguments.
+  Oid f1 = Oid::Func("secretary", {Oid::Symbol("dept77")});
+  Oid f2 = Oid::Func("secretary", {Oid::Symbol("dept77")});
+  Oid f3 = Oid::Func("secretary", {Oid::Symbol("dept78")});
+  Oid f4 = Oid::Func("manager", {Oid::Symbol("dept77")});
+  EXPECT_EQ(f1, f2);
+  EXPECT_NE(f1, f3);
+  EXPECT_NE(f1, f4);
+  EXPECT_EQ(f1.ToString(), "secretary(dept77)");
+}
+
+TEST(OidTest, NestedFunctionalOids) {
+  Oid inner = Oid::Func("pair", {Oid::Int(1), Oid::Int(2)});
+  Oid outer = Oid::Func("wrap", {inner});
+  EXPECT_EQ(outer.ToString(), "wrap(pair(1, 2))");
+  EXPECT_EQ(outer, Oid::Func("wrap", {Oid::Func("pair", {Oid::Int(1),
+                                                         Oid::Int(2)})}));
+}
+
+TEST(OidTest, TotalOrderIsConsistent) {
+  std::vector<Oid> oids = {Oid::Int(1),        Oid::Int(2),
+                           Oid::Real(Rational(1, 2)),
+                           Oid::Str("a"),      Oid::Symbol("a"),
+                           Oid::Bool(false),   Oid::Cst("c"),
+                           Oid::Func("f", {})};
+  for (const Oid& a : oids) {
+    EXPECT_EQ(a.Compare(a), 0);
+    for (const Oid& b : oids) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a));
+      if (a.Compare(b) == 0) {
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
+    }
+  }
+}
+
+TEST(OidTest, ToStringForms) {
+  EXPECT_EQ(Oid::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Oid::Real(Rational(5, 4)).ToString(), "5/4");
+  EXPECT_EQ(Oid::Str("red").ToString(), "'red'");
+  EXPECT_EQ(Oid::Bool(true).ToString(), "true");
+}
+
+TEST(ValueTest, ScalarVsSet) {
+  Value s = Value::Scalar(Oid::Int(1));
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(s.scalar(), Oid::Int(1));
+  Value set = Value::Set({Oid::Int(2), Oid::Int(1), Oid::Int(2)});
+  EXPECT_TRUE(set.is_set());
+  EXPECT_EQ(set.elements().size(), 2u);  // Dedup + sort.
+  EXPECT_TRUE(set.Contains(Oid::Int(1)));
+  EXPECT_FALSE(set.Contains(Oid::Int(3)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Scalar(Oid::Str("red")).ToString(), "'red'");
+  EXPECT_EQ(Value::Set({Oid::Int(1), Oid::Int(2)}).ToString(), "{1, 2}");
+  EXPECT_EQ(Value::Set({}).ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace lyric

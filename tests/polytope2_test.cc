@@ -1,0 +1,176 @@
+#include "geometry/polytope2.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/fourier_motzkin.h"
+
+namespace lyric {
+namespace {
+
+class Polytope2Test : public ::testing::Test {
+ protected:
+  VarId x_ = Variable::Intern("gx");
+  VarId y_ = Variable::Intern("gy");
+
+  LinearExpr X() { return LinearExpr::Var(x_); }
+  LinearExpr Y() { return LinearExpr::Var(y_); }
+  LinearExpr C(int64_t v) { return LinearExpr::Constant(Rational(v)); }
+
+  Conjunction Box(int64_t x0, int64_t x1, int64_t y0, int64_t y1) {
+    Conjunction c;
+    c.Add(LinearConstraint::Ge(X(), C(x0)));
+    c.Add(LinearConstraint::Le(X(), C(x1)));
+    c.Add(LinearConstraint::Ge(Y(), C(y0)));
+    c.Add(LinearConstraint::Le(Y(), C(y1)));
+    return c;
+  }
+};
+
+TEST_F(Polytope2Test, BoxVertices) {
+  auto verts = Polytope2::Vertices(Box(0, 4, 0, 2), x_, y_).value();
+  ASSERT_EQ(verts.size(), 4u);
+  // CCW from the lexicographically smallest vertex.
+  EXPECT_EQ(verts[0], (Point2{Rational(0), Rational(0)}));
+  EXPECT_EQ(Polytope2::SignedArea(verts), Rational(8));
+}
+
+TEST_F(Polytope2Test, BoxArea) {
+  EXPECT_EQ(Polytope2::Area(Box(0, 4, 0, 2), x_, y_).value(), Rational(8));
+  EXPECT_EQ(Polytope2::Area(Box(-4, 4, -2, 2), x_, y_).value(), Rational(32));
+}
+
+TEST_F(Polytope2Test, TriangleArea) {
+  // x >= 0, y >= 0, x + y <= 3: right triangle, area 9/2.
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  c.Add(LinearConstraint::Le(X() + Y(), C(3)));
+  EXPECT_EQ(Polytope2::Area(c, x_, y_).value(), Rational(9, 2));
+}
+
+TEST_F(Polytope2Test, RedundantConstraintsIgnored) {
+  Conjunction c = Box(0, 2, 0, 2);
+  c.Add(LinearConstraint::Le(X() + Y(), C(100)));  // Far away.
+  EXPECT_EQ(Polytope2::Area(c, x_, y_).value(), Rational(4));
+}
+
+TEST_F(Polytope2Test, EmptyRegion) {
+  Conjunction c = Box(0, 1, 0, 1);
+  c.Add(LinearConstraint::Ge(X(), C(5)));
+  EXPECT_EQ(Polytope2::Vertices(c, x_, y_).value().size(), 0u);
+  EXPECT_EQ(Polytope2::Area(c, x_, y_).value(), Rational(0));
+}
+
+TEST_F(Polytope2Test, DegenerateSegmentAndPoint) {
+  // A segment: x in [0,2], y = 1.
+  Conjunction seg;
+  seg.Add(LinearConstraint::Ge(X(), C(0)));
+  seg.Add(LinearConstraint::Le(X(), C(2)));
+  seg.Add(LinearConstraint::Eq(Y(), C(1)));
+  auto verts = Polytope2::Vertices(seg, x_, y_).value();
+  EXPECT_EQ(verts.size(), 2u);
+  EXPECT_EQ(Polytope2::Area(seg, x_, y_).value(), Rational(0));
+  // A point.
+  Conjunction pt;
+  pt.Add(LinearConstraint::Eq(X(), C(1)));
+  pt.Add(LinearConstraint::Eq(Y(), C(2)));
+  EXPECT_EQ(Polytope2::Vertices(pt, x_, y_).value().size(), 1u);
+}
+
+TEST_F(Polytope2Test, UnboundedRejected) {
+  Conjunction c;
+  c.Add(LinearConstraint::Ge(X(), C(0)));
+  c.Add(LinearConstraint::Ge(Y(), C(0)));
+  auto r = Polytope2::Vertices(c, x_, y_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(Polytope2Test, ThirdVariableRejected) {
+  Conjunction c = Box(0, 1, 0, 1);
+  c.Add(LinearConstraint::Le(LinearExpr::Var(Variable::Intern("gz")), C(1)));
+  EXPECT_FALSE(Polytope2::Vertices(c, x_, y_).ok());
+}
+
+TEST_F(Polytope2Test, DisequalityRejected) {
+  Conjunction c = Box(0, 1, 0, 1);
+  c.Add(LinearConstraint::Neq(X(), C(0)));
+  EXPECT_FALSE(Polytope2::Area(c, x_, y_).ok());
+}
+
+TEST_F(Polytope2Test, FromPolygonRoundTrip) {
+  std::vector<Point2> tri{{Rational(0), Rational(0)},
+                          {Rational(3), Rational(0)},
+                          {Rational(0), Rational(3)}};
+  Conjunction c = Polytope2::FromPolygon(tri, x_, y_).value();
+  EXPECT_EQ(Polytope2::Area(c, x_, y_).value(), Rational(9, 2));
+  // Clockwise input is normalized.
+  std::vector<Point2> cw{{Rational(0), Rational(0)},
+                         {Rational(0), Rational(3)},
+                         {Rational(3), Rational(0)}};
+  Conjunction c2 = Polytope2::FromPolygon(cw, x_, y_).value();
+  EXPECT_EQ(Polytope2::Area(c2, x_, y_).value(), Rational(9, 2));
+  // Interior membership matches.
+  EXPECT_TRUE(
+      c.Eval({{x_, Rational(1)}, {y_, Rational(1)}}).value());
+  EXPECT_FALSE(
+      c.Eval({{x_, Rational(3)}, {y_, Rational(3)}}).value());
+}
+
+TEST_F(Polytope2Test, FromPolygonDegenerateRejected) {
+  std::vector<Point2> line{{Rational(0), Rational(0)},
+                           {Rational(1), Rational(1)},
+                           {Rational(2), Rational(2)}};
+  EXPECT_FALSE(Polytope2::FromPolygon(line, x_, y_).ok());
+  EXPECT_FALSE(
+      Polytope2::FromPolygon({{Rational(0), Rational(0)}}, x_, y_).ok());
+}
+
+// Property: the area of a random clipped polygon equals the area computed
+// after a round trip through halfplanes, and FM projection of the region
+// onto x spans exactly [min_x, max_x] of the vertices.
+class PolytopeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolytopeRandom, ProjectionSpansVertexRange) {
+  std::mt19937_64 rng(GetParam() * 2654435761u);
+  VarId x = Variable::Intern("gx");
+  VarId y = Variable::Intern("gy");
+  Conjunction c;
+  // Random bounded region: box plus random cutting halfplanes through it.
+  c.Add(LinearConstraint::Ge(LinearExpr::Var(x),
+                             LinearExpr::Constant(Rational(-10))));
+  c.Add(LinearConstraint::Le(LinearExpr::Var(x),
+                             LinearExpr::Constant(Rational(10))));
+  c.Add(LinearConstraint::Ge(LinearExpr::Var(y),
+                             LinearExpr::Constant(Rational(-10))));
+  c.Add(LinearConstraint::Le(LinearExpr::Var(y),
+                             LinearExpr::Constant(Rational(10))));
+  for (int i = 0; i < 4; ++i) {
+    LinearExpr e;
+    e.AddTerm(x, Rational(static_cast<int64_t>(rng() % 7) - 3));
+    e.AddTerm(y, Rational(static_cast<int64_t>(rng() % 7) - 3));
+    e.AddConstant(Rational(-(static_cast<int64_t>(rng() % 10) + 5)));
+    c.Add(LinearConstraint(e, RelOp::kLe));
+  }
+  auto verts_r = Polytope2::Vertices(c, x, y);
+  ASSERT_TRUE(verts_r.ok()) << verts_r.status();
+  if (verts_r->size() < 2) return;  // Degenerate draw; nothing to check.
+  Rational min_x = (*verts_r)[0].x, max_x = (*verts_r)[0].x;
+  for (const Point2& p : *verts_r) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+  }
+  Conjunction proj = FourierMotzkin::ProjectOnto(c, VarSet{x}).value();
+  EXPECT_TRUE(proj.Eval({{x, min_x}}).value());
+  EXPECT_TRUE(proj.Eval({{x, max_x}}).value());
+  Rational eps(1, 100);
+  EXPECT_FALSE(proj.Eval({{x, min_x - eps}}).value());
+  EXPECT_FALSE(proj.Eval({{x, max_x + eps}}).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolytopeRandom, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace lyric

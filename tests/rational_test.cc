@@ -1,0 +1,105 @@
+#include "arith/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace lyric {
+namespace {
+
+TEST(RationalTest, CanonicalForm) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), BigInt(3));
+  EXPECT_EQ(r.den(), BigInt(4));
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), BigInt(-1));
+  EXPECT_EQ(neg.den(), BigInt(2));
+  Rational z(0, 17);
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.den(), BigInt(1));
+}
+
+TEST(RationalTest, EqualityIsStructural) {
+  EXPECT_EQ(Rational(1, 2), Rational(2, 4));
+  EXPECT_EQ(Rational(-1, 2), Rational(1, -2));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(1, 2), Rational(2, 4));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalTest, FromStringForms) {
+  EXPECT_EQ(Rational::FromString("3").value(), Rational(3));
+  EXPECT_EQ(Rational::FromString("-7/2").value(), Rational(-7, 2));
+  EXPECT_EQ(Rational::FromString("1.25").value(), Rational(5, 4));
+  EXPECT_EQ(Rational::FromString("-0.5").value(), Rational(-1, 2));
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a").ok());
+  EXPECT_FALSE(Rational::FromString("1.").ok());
+}
+
+TEST(RationalTest, FromDoubleExact) {
+  EXPECT_EQ(Rational::FromDouble(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::FromDouble(-0.25), Rational(-1, 4));
+  EXPECT_EQ(Rational::FromDouble(3.0), Rational(3));
+  EXPECT_EQ(Rational::FromDouble(0.0), Rational(0));
+}
+
+TEST(RationalTest, ToStringForms) {
+  EXPECT_EQ(Rational(3).ToString(), "3");
+  EXPECT_EQ(Rational(-7, 2).ToString(), "-7/2");
+  EXPECT_EQ(Rational(0).ToString(), "0");
+}
+
+TEST(RationalTest, InverseAndAbs) {
+  EXPECT_EQ(Rational(2, 3).Inverse(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2, 3).Inverse(), Rational(-3, 2));
+  EXPECT_EQ(Rational(-5, 7).Abs(), Rational(5, 7));
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  std::mt19937_64 rng(5);
+  auto rand_rat = [&]() {
+    int64_t num = static_cast<int64_t>(rng() % 2001) - 1000;
+    int64_t den = static_cast<int64_t>(rng() % 999) + 1;
+    return Rational(num, den);
+  };
+  for (int i = 0; i < 300; ++i) {
+    Rational a = rand_rat(), b = rand_rat(), c = rand_rat();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Rational(1));
+      EXPECT_EQ(b / a * a, b);
+    }
+  }
+}
+
+TEST(RationalTest, NoPrecisionLossInLongSums) {
+  // 1/3 summed 3000 times is exactly 1000 — the reason constraints use
+  // Rational, not double.
+  Rational sum;
+  for (int i = 0; i < 3000; ++i) sum += Rational(1, 3);
+  EXPECT_EQ(sum, Rational(1000));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).ToDouble(), -1.75);
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "office/office_db.h"
+#include "query/evaluator.h"
+#include "relational/translator.h"
+
+namespace lyric {
+namespace {
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ids = office::BuildOfficeDatabase(&db_);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+    ids_ = *ids;
+  }
+
+  FlatDatabase Flat() { return FlatDatabase::Flatten(db_).value(); }
+
+  FlatRelation RunFlat(const std::string& text) {
+    FlatDatabase flat = Flat();
+    FlatTranslator tr(&flat, &db_);
+    auto r = tr.Execute(text);
+    EXPECT_TRUE(r.ok()) << text << "\n -> " << r.status();
+    return r.ok() ? *r : FlatRelation();
+  }
+
+  Database db_;
+  office::OfficeIds ids_;
+};
+
+TEST_F(RelationalTest, FlattenProducesPerClassRelations) {
+  FlatDatabase flat = Flat();
+  const FlatRelation* desks = flat.Relation("Desk").value();
+  // Columns: oid + drawer_center, drawer, then inherited name, color,
+  // extent, translation.
+  EXPECT_EQ(desks->columns().size(), 7u);
+  EXPECT_EQ(desks->columns()[0], "oid");
+  ASSERT_EQ(desks->size(), 1u);
+  EXPECT_EQ(desks->tuples()[0][0], ids_.standard_desk);
+}
+
+TEST_F(RelationalTest, FlattenInheritanceIntoSuperclassRelation) {
+  FlatDatabase flat = Flat();
+  // The desk appears in the Office_Object relation too (extent of the
+  // superclass includes subclasses).
+  const FlatRelation* objs = flat.Relation("Office_Object").value();
+  ASSERT_EQ(objs->size(), 1u);
+  EXPECT_EQ(objs->tuples()[0][0], ids_.standard_desk);
+}
+
+TEST_F(RelationalTest, FlattenUnnestsSetValuedAttributes) {
+  // A file cabinet with two drawers yields two flat tuples.
+  Oid cab = Oid::Symbol("flat_cab");
+  ASSERT_TRUE(db_.Insert(cab, "File_Cabinet").ok());
+  ASSERT_TRUE(db_.SetAttribute(cab, "name",
+                               Value::Scalar(Oid::Str("cabinet"))).ok());
+  ASSERT_TRUE(db_.SetAttribute(cab, "color",
+                               Value::Scalar(Oid::Str("gray"))).ok());
+  ASSERT_TRUE(
+      db_.SetCstAttribute(cab, "extent", office::BoxExtent(1, 2)).ok());
+  ASSERT_TRUE(db_.SetCstAttribute(cab, "translation",
+                                  office::StandardTranslation()).ok());
+  Oid d1 = Oid::Symbol("flat_cab_d1");
+  Oid d2 = Oid::Symbol("flat_cab_d2");
+  for (const Oid& d : {d1, d2}) {
+    ASSERT_TRUE(db_.Insert(d, "Drawer").ok());
+  }
+  ASSERT_TRUE(db_.SetAttribute(cab, "drawer", Value::Set({d1, d2})).ok());
+  // drawer_center is set-valued on File_Cabinet.
+  Oid center = db_.InternCst(office::StandardDrawerCenter()).value();
+  ASSERT_TRUE(
+      db_.SetAttribute(cab, "drawer_center", Value::Set({center})).ok());
+  FlatDatabase flat = Flat();
+  const FlatRelation* cabs = flat.Relation("File_Cabinet").value();
+  EXPECT_EQ(cabs->size(), 2u);  // One per drawer.
+}
+
+TEST_F(RelationalTest, ObjectsMissingAttributesDropOut) {
+  Oid bare = Oid::Symbol("bare_desk");
+  ASSERT_TRUE(db_.Insert(bare, "Desk").ok());
+  FlatDatabase flat = Flat();
+  const FlatRelation* desks = flat.Relation("Desk").value();
+  // Only the fully populated standard desk appears.
+  ASSERT_EQ(desks->size(), 1u);
+  EXPECT_EQ(desks->tuples()[0][0], ids_.standard_desk);
+}
+
+TEST_F(RelationalTest, SimpleSelectViaTranslation) {
+  FlatRelation r = RunFlat("SELECT X FROM Desk X WHERE X.color = 'red'");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuples()[0][0], ids_.standard_desk);
+  EXPECT_EQ(RunFlat("SELECT X FROM Desk X WHERE X.color = 'blue'").size(),
+            0u);
+}
+
+TEST_F(RelationalTest, PathPredicateBecomesJoin) {
+  FlatRelation r = RunFlat("SELECT Y FROM Desk X WHERE X.drawer[Y]");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuples()[0][0], ids_.the_drawer);
+}
+
+TEST_F(RelationalTest, MultiStepPathJoins) {
+  FlatRelation r =
+      RunFlat("SELECT Y FROM Desk X WHERE X.drawer.extent[Y]");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.tuples()[0][0].IsCst());
+}
+
+TEST_F(RelationalTest, CstSatSelection) {
+  FlatRelation in = RunFlat(
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and SAT(L(x, y) and x >= 5)");
+  EXPECT_EQ(in.size(), 1u);
+  FlatRelation out_rel = RunFlat(
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and SAT(L(x, y) and x >= 7)");
+  EXPECT_EQ(out_rel.size(), 0u);
+}
+
+TEST_F(RelationalTest, CstEntailmentSelection) {
+  EXPECT_EQ(RunFlat("SELECT DSK FROM Desk DSK "
+                    "WHERE DSK.drawer_center[C] and C(p, q) |= p = -2")
+                .size(),
+            1u);
+  EXPECT_EQ(RunFlat("SELECT DSK FROM Desk DSK "
+                    "WHERE DSK.drawer_center[C] and C(p, q) |= p = 0")
+                .size(),
+            0u);
+}
+
+TEST_F(RelationalTest, ConstructCstColumn) {
+  FlatRelation r = RunFlat(
+      "SELECT CO, ((u, v) | E(w, z) and D(w, z, x, y, u, v) and x = 6 "
+      "and y = 4) "
+      "FROM Office_Object CO WHERE CO.extent[E] and CO.translation[D]");
+  ASSERT_EQ(r.size(), 1u);
+  ASSERT_EQ(r.tuples()[0].size(), 2u);
+  CstObject obj = db_.GetCst(r.tuples()[0][1]).value();
+  // The same [2,10]x[2,6] box the paper (and the direct evaluator) yield.
+  EXPECT_TRUE(obj.Contains({Rational(2), Rational(2)}).value());
+  EXPECT_TRUE(obj.Contains({Rational(10), Rational(6)}).value());
+  EXPECT_FALSE(obj.Contains({Rational(1), Rational(4)}).value());
+}
+
+TEST_F(RelationalTest, FlatAgreesWithDirectEvaluator) {
+  ASSERT_TRUE(office::AddScaledDesks(&db_, 8, 5).ok());
+  const char* queries[] = {
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and SAT(L(x, y) and x >= 10)",
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and SAT(L(x, y) and 0 <= x and x <= 10 and "
+      "0 <= y and y <= 5)",
+      "SELECT Y FROM Desk X WHERE X.drawer[Y]",
+  };
+  for (const char* q : queries) {
+    Evaluator ev(&db_);
+    ResultSet direct = ev.Execute(q).value();
+    FlatRelation flat = RunFlat(q);
+    EXPECT_EQ(direct.size(), flat.size()) << q;
+    for (const auto& row : flat.tuples()) {
+      EXPECT_TRUE(direct.ContainsOid(row[0])) << q << " " << row[0];
+    }
+  }
+}
+
+TEST_F(RelationalTest, UnsupportedShapesReportNotImplemented) {
+  FlatDatabase flat = Flat();
+  FlatTranslator tr(&flat, &db_);
+  // OR in WHERE.
+  auto r1 = tr.Execute(
+      "SELECT X FROM Desk X WHERE X.color = 'red' or X.color = 'blue'");
+  EXPECT_TRUE(r1.status().IsNotImplemented());
+  // Bare predicate use.
+  auto r2 = tr.Execute(
+      "SELECT O FROM Object_in_Room O WHERE O.location[L] and SAT(L)");
+  EXPECT_TRUE(r2.status().IsNotImplemented());
+  // Views.
+  auto r3 = tr.Execute(
+      "CREATE VIEW V AS SUBCLASS OF Desk SELECT X FROM Desk X");
+  EXPECT_TRUE(r3.status().IsNotImplemented());
+}
+
+TEST_F(RelationalTest, AlgebraPrimitives) {
+  FlatRelation r({"a", "b"});
+  ASSERT_TRUE(r.Add({Oid::Int(1), Oid::Int(2)}).ok());
+  ASSERT_TRUE(r.Add({Oid::Int(1), Oid::Int(2)}).ok());
+  ASSERT_TRUE(r.Add({Oid::Int(3), Oid::Int(3)}).ok());
+  r.Dedupe();
+  EXPECT_EQ(r.size(), 2u);
+  FlatRelation eq = FlatAlgebra::SelectCols(r, "a", "=", "b").value();
+  EXPECT_EQ(eq.size(), 1u);
+  FlatRelation lt = FlatAlgebra::SelectConst(r, "a", "<", Oid::Int(2)).value();
+  EXPECT_EQ(lt.size(), 1u);
+  FlatRelation proj = FlatAlgebra::Project(r, {"b"}).value();
+  EXPECT_EQ(proj.size(), 2u);
+  // Arity mismatch and unknown columns are errors.
+  EXPECT_FALSE(r.Add({Oid::Int(1)}).ok());
+  EXPECT_FALSE(FlatAlgebra::Project(r, {"nope"}).ok());
+  // Column clash in product.
+  EXPECT_TRUE(FlatAlgebra::Product(r, r).status().IsInvalidArgument());
+  FlatRelation pref = r.WithPrefix("r2.");
+  EXPECT_EQ(FlatAlgebra::Product(r, pref).value().size(), 4u);
+}
+
+}  // namespace
+}  // namespace lyric

@@ -1,0 +1,105 @@
+// Printer <-> parser consistency: every Conjunction/Dnf rendered by the
+// engine parses back through the query layer into an equivalent
+// constraint. This is the glue the storage layer and the shell rely on.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/entailment.h"
+#include "query/formula_builder.h"
+#include "query/parser.h"
+
+namespace lyric {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_.seed(static_cast<uint64_t>(GetParam()) * 1000003ull);
+    vars_ = {Variable::Intern("rta"), Variable::Intern("rtb"),
+             Variable::Intern("rtc")};
+  }
+
+  LinearConstraint RandomAtom() {
+    LinearExpr e;
+    for (VarId v : vars_) {
+      e.AddTerm(v, Rational(static_cast<int64_t>(rng_() % 9) - 4,
+                            1 + static_cast<int64_t>(rng_() % 3)));
+    }
+    e.AddConstant(Rational(static_cast<int64_t>(rng_() % 21) - 10));
+    switch (rng_() % 4) {
+      case 0:
+        return LinearConstraint(e, RelOp::kEq);
+      case 1:
+        return LinearConstraint(e, RelOp::kLt);
+      case 2:
+        return LinearConstraint(e, RelOp::kNeq);
+      default:
+        return LinearConstraint(e, RelOp::kLe);
+    }
+  }
+
+  Conjunction RandomConjunction(int atoms) {
+    Conjunction c;
+    for (int i = 0; i < atoms; ++i) c.Add(RandomAtom());
+    return c;
+  }
+
+  // Parses `text` as a formula and instantiates it with no bindings.
+  Dnf Reparse(const std::string& text) {
+    auto f = ParseFormula(text);
+    EXPECT_TRUE(f.ok()) << text << "\n -> " << f.status();
+    if (!f.ok()) return Dnf::False();
+    Database db;
+    std::set<std::string> none;
+    FormulaBuilder fb(&db, &none);
+    auto de = fb.Build(*f, Binding{});
+    EXPECT_TRUE(de.ok()) << text << "\n -> " << de.status();
+    if (!de.ok()) return Dnf::False();
+    auto dnf = de->ToDnf();
+    EXPECT_TRUE(dnf.ok()) << de->ToString();
+    return dnf.ok() ? *dnf : Dnf::False();
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<VarId> vars_;
+};
+
+TEST_P(RoundTrip, AtomPrintsAndReparses) {
+  for (int i = 0; i < 10; ++i) {
+    LinearConstraint atom = RandomAtom();
+    if (atom.ConstantTruth() != Truth::kUnknown) continue;
+    Dnf back = Reparse(atom.ToString());
+    Conjunction c;
+    c.Add(atom);
+    EXPECT_TRUE(Entailment::Equivalent(Dnf(c), back).value())
+        << atom.ToString() << "  vs  " << back.ToString();
+  }
+}
+
+TEST_P(RoundTrip, ConjunctionPrintsAndReparses) {
+  Conjunction c = RandomConjunction(4);
+  Dnf back = Reparse(c.ToString());
+  EXPECT_TRUE(Entailment::Equivalent(Dnf(c), back).value())
+      << c.ToString() << "  vs  " << back.ToString();
+}
+
+TEST_P(RoundTrip, DnfPrintsAndReparses) {
+  Dnf d;
+  d.AddDisjunct(RandomConjunction(3));
+  d.AddDisjunct(RandomConjunction(3));
+  Dnf back = Reparse(d.ToString());
+  EXPECT_TRUE(Entailment::Equivalent(d, back).value())
+      << d.ToString() << "  vs  " << back.ToString();
+}
+
+TEST_P(RoundTrip, TrueAndFalseForms) {
+  EXPECT_TRUE(Reparse(Conjunction().ToString()).IsTrue());
+  EXPECT_TRUE(Reparse(Dnf::False().ToString()).IsFalse());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace lyric

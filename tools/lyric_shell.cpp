@@ -1,0 +1,190 @@
+// lyric_shell — an interactive LyriC session.
+//
+//   $ lyric_shell [database.lyricdb]
+//   lyric> SELECT Y FROM Desk X WHERE X.drawer.extent[Y];
+//   lyric> .classes
+//   lyric> .save office.lyricdb
+//
+// Dot commands:
+//   .help                this text
+//   .classes             list schema classes
+//   .schema CLASS        show one class definition
+//   .objects [CLASS]     list stored objects (optionally of one class)
+//   .office              load the bundled Figure 1/2 office database
+//   .analyze QUERY       run the static analyzer only
+//   .load PATH / .save PATH
+//   .quit
+// Anything else is parsed as a LyriC query and evaluated.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "office/office_db.h"
+#include "query/analyzer.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "storage/serializer.h"
+#include "util/string_util.h"
+
+using namespace lyric;  // NOLINT - tool code.
+
+namespace {
+
+void PrintClasses(const Database& db) {
+  for (const std::string& name : db.schema().ClassNames()) {
+    std::cout << "  " << name << "\n";
+  }
+}
+
+void PrintSchema(const Database& db, const std::string& cls) {
+  auto def = db.schema().GetClass(cls);
+  if (!def.ok()) {
+    std::cout << def.status() << "\n";
+    return;
+  }
+  std::cout << "CLASS " << (*def)->name;
+  if (!(*def)->interface_vars.empty()) {
+    std::cout << " (" << Join((*def)->interface_vars, ", ") << ")";
+  }
+  if (!(*def)->parents.empty()) {
+    std::cout << " ISA " << Join((*def)->parents, ", ");
+  }
+  std::cout << "\n";
+  auto attrs = db.schema().AllAttributes(cls);
+  if (attrs.ok()) {
+    for (const AttributeDef* a : *attrs) {
+      std::cout << "  " << a->name << (a->set_valued ? "*" : "") << " : "
+                << (a->IsCst() ? "CST" : a->target_class);
+      if (!a->variables.empty()) {
+        std::cout << " (" << Join(a->variables, ", ") << ")";
+      }
+      std::cout << "\n";
+    }
+  }
+  for (const std::string& m :
+       db.methods().VisibleMethods(db.schema(), cls)) {
+    std::cout << "  " << m << "()  [method]\n";
+  }
+}
+
+void PrintObjects(const Database& db, const std::string& cls) {
+  std::vector<Oid> oids =
+      cls.empty() ? db.AllObjects() : db.Extent(cls);
+  for (const Oid& oid : oids) {
+    auto c = db.ClassOf(oid);
+    std::cout << "  " << oid.ToString() << " : "
+              << (c.ok() ? *c : std::string("?")) << "\n";
+  }
+  std::cout << "(" << oids.size() << " objects, " << db.CstCount()
+            << " constraints interned)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db;
+  if (auto st = RegisterBuiltinCstMethods(&db); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  if (argc > 1) {
+    Database fresh;
+    if (auto st = Serializer::LoadFromFile(argv[1], &fresh); !st.ok()) {
+      std::cerr << "could not load " << argv[1] << ": " << st << "\n";
+      return 1;
+    }
+    db = std::move(fresh);
+    (void)RegisterBuiltinCstMethods(&db);
+    std::cout << "loaded " << db.ObjectCount() << " objects from "
+              << argv[1] << "\n";
+  }
+
+  std::cout << "LyriC shell — .help for commands, .quit to exit\n";
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::cout << (pending.empty() ? "lyric> " : "  ...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    // Dot commands act immediately.
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      std::istringstream ss(line);
+      std::string cmd, arg;
+      ss >> cmd;
+      std::getline(ss, arg);
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::cout << "  .classes | .schema CLASS | .objects [CLASS] | "
+                     ".office | .analyze QUERY | .load PATH | .save PATH | "
+                     ".quit\n  anything else: a LyriC query ending in ';'\n";
+      } else if (cmd == ".classes") {
+        PrintClasses(db);
+      } else if (cmd == ".schema") {
+        PrintSchema(db, arg);
+      } else if (cmd == ".objects") {
+        PrintObjects(db, arg);
+      } else if (cmd == ".office") {
+        Database fresh;
+        auto ids = office::BuildOfficeDatabase(&fresh);
+        if (ids.ok()) {
+          db = std::move(fresh);
+          (void)RegisterBuiltinCstMethods(&db);
+          std::cout << "office database loaded\n";
+        } else {
+          std::cout << ids.status() << "\n";
+        }
+      } else if (cmd == ".analyze") {
+        auto q = ParseQuery(arg);
+        if (!q.ok()) {
+          std::cout << q.status() << "\n";
+          continue;
+        }
+        Analyzer an(&db);
+        auto r = an.Analyze(*q);
+        if (!r.ok()) {
+          std::cout << r.status() << "\n";
+          continue;
+        }
+        for (const auto& [var, cls] : r->var_classes) {
+          std::cout << "  " << var << " : " << cls << "\n";
+        }
+        for (const std::string& w : r->warnings) {
+          std::cout << "  warning: " << w << "\n";
+        }
+        std::cout << "ok\n";
+      } else if (cmd == ".load") {
+        Database fresh;
+        auto st = Serializer::LoadFromFile(arg, &fresh);
+        if (st.ok()) {
+          db = std::move(fresh);
+          (void)RegisterBuiltinCstMethods(&db);
+          std::cout << "loaded " << db.ObjectCount() << " objects\n";
+        } else {
+          std::cout << st << "\n";
+        }
+      } else if (cmd == ".save") {
+        auto st = Serializer::SaveToFile(db, arg);
+        std::cout << (st.ok() ? "saved" : st.ToString()) << "\n";
+      } else {
+        std::cout << "unknown command " << cmd << " (.help)\n";
+      }
+      continue;
+    }
+    // Accumulate query text until a ';'.
+    pending += line + "\n";
+    if (line.find(';') == std::string::npos) continue;
+    Evaluator ev(&db);
+    auto r = ev.Execute(pending);
+    pending.clear();
+    if (!r.ok()) {
+      std::cout << r.status() << "\n";
+      continue;
+    }
+    std::cout << r->ToString() << "\n";
+    for (const std::string& cls : ev.created_classes()) {
+      std::cout << "created class " << cls << "\n";
+    }
+  }
+  return 0;
+}
