@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flat_vs_direct.dir/bench_flat_vs_direct.cc.o"
+  "CMakeFiles/bench_flat_vs_direct.dir/bench_flat_vs_direct.cc.o.d"
+  "bench_flat_vs_direct"
+  "bench_flat_vs_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flat_vs_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manufacturing.dir/bench_manufacturing.cc.o"
+  "CMakeFiles/bench_manufacturing.dir/bench_manufacturing.cc.o.d"
+  "bench_manufacturing"
+  "bench_manufacturing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manufacturing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mda.dir/bench_mda.cc.o"
+  "CMakeFiles/bench_mda.dir/bench_mda.cc.o.d"
+  "bench_mda"
+  "bench_mda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_lp.dir/manufacturing_lp.cpp.o"
+  "CMakeFiles/manufacturing_lp.dir/manufacturing_lp.cpp.o.d"
+  "manufacturing_lp"
+  "manufacturing_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

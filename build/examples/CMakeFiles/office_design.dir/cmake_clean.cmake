@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_design.dir/office_design.cpp.o"
+  "CMakeFiles/office_design.dir/office_design.cpp.o.d"
+  "office_design"
+  "office_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

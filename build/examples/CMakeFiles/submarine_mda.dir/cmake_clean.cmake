@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submarine_mda.dir/submarine_mda.cpp.o"
+  "CMakeFiles/submarine_mda.dir/submarine_mda.cpp.o.d"
+  "submarine_mda"
+  "submarine_mda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submarine_mda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for submarine_mda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_algebra.dir/combinators.cc.o"
+  "CMakeFiles/lyric_algebra.dir/combinators.cc.o.d"
+  "CMakeFiles/lyric_algebra.dir/value.cc.o"
+  "CMakeFiles/lyric_algebra.dir/value.cc.o.d"
+  "liblyric_algebra.a"
+  "liblyric_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

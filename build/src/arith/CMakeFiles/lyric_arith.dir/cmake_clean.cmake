@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_arith.dir/bigint.cc.o"
+  "CMakeFiles/lyric_arith.dir/bigint.cc.o.d"
+  "CMakeFiles/lyric_arith.dir/rational.cc.o"
+  "CMakeFiles/lyric_arith.dir/rational.cc.o.d"
+  "liblyric_arith.a"
+  "liblyric_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/canonical.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/canonical.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/canonical.cc.o.d"
+  "/root/repo/src/constraint/conjunction.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/conjunction.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/conjunction.cc.o.d"
+  "/root/repo/src/constraint/cst_object.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/cst_object.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/cst_object.cc.o.d"
+  "/root/repo/src/constraint/dnf.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/dnf.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/dnf.cc.o.d"
+  "/root/repo/src/constraint/entailment.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/entailment.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/entailment.cc.o.d"
+  "/root/repo/src/constraint/existential.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/existential.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/existential.cc.o.d"
+  "/root/repo/src/constraint/family.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/family.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/family.cc.o.d"
+  "/root/repo/src/constraint/fourier_motzkin.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/fourier_motzkin.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/fourier_motzkin.cc.o.d"
+  "/root/repo/src/constraint/linear_constraint.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/linear_constraint.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/linear_constraint.cc.o.d"
+  "/root/repo/src/constraint/linear_expr.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/linear_expr.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/linear_expr.cc.o.d"
+  "/root/repo/src/constraint/simplex.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/simplex.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/simplex.cc.o.d"
+  "/root/repo/src/constraint/variable.cc" "src/constraint/CMakeFiles/lyric_constraint.dir/variable.cc.o" "gcc" "src/constraint/CMakeFiles/lyric_constraint.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/lyric_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lyric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

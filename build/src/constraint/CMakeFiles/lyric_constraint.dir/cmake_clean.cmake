@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_constraint.dir/canonical.cc.o"
+  "CMakeFiles/lyric_constraint.dir/canonical.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/conjunction.cc.o"
+  "CMakeFiles/lyric_constraint.dir/conjunction.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/cst_object.cc.o"
+  "CMakeFiles/lyric_constraint.dir/cst_object.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/dnf.cc.o"
+  "CMakeFiles/lyric_constraint.dir/dnf.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/entailment.cc.o"
+  "CMakeFiles/lyric_constraint.dir/entailment.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/existential.cc.o"
+  "CMakeFiles/lyric_constraint.dir/existential.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/family.cc.o"
+  "CMakeFiles/lyric_constraint.dir/family.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/fourier_motzkin.cc.o"
+  "CMakeFiles/lyric_constraint.dir/fourier_motzkin.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/linear_constraint.cc.o"
+  "CMakeFiles/lyric_constraint.dir/linear_constraint.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/linear_expr.cc.o"
+  "CMakeFiles/lyric_constraint.dir/linear_expr.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/simplex.cc.o"
+  "CMakeFiles/lyric_constraint.dir/simplex.cc.o.d"
+  "CMakeFiles/lyric_constraint.dir/variable.cc.o"
+  "CMakeFiles/lyric_constraint.dir/variable.cc.o.d"
+  "liblyric_constraint.a"
+  "liblyric_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/constraint/CMakeFiles/lyric_constraint.dir/family.cc.o: \
+ /root/repo/src/constraint/family.cc /usr/include/stdc-predef.h \
+ /root/repo/src/constraint/family.h

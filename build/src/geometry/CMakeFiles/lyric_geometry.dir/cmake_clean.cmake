@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_geometry.dir/polytope2.cc.o"
+  "CMakeFiles/lyric_geometry.dir/polytope2.cc.o.d"
+  "liblyric_geometry.a"
+  "liblyric_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_object.dir/database.cc.o"
+  "CMakeFiles/lyric_object.dir/database.cc.o.d"
+  "CMakeFiles/lyric_object.dir/method.cc.o"
+  "CMakeFiles/lyric_object.dir/method.cc.o.d"
+  "CMakeFiles/lyric_object.dir/oid.cc.o"
+  "CMakeFiles/lyric_object.dir/oid.cc.o.d"
+  "CMakeFiles/lyric_object.dir/schema.cc.o"
+  "CMakeFiles/lyric_object.dir/schema.cc.o.d"
+  "liblyric_object.a"
+  "liblyric_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

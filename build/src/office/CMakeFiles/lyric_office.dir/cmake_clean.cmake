@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_office.dir/office_db.cc.o"
+  "CMakeFiles/lyric_office.dir/office_db.cc.o.d"
+  "liblyric_office.a"
+  "liblyric_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/analyzer.cc" "src/query/CMakeFiles/lyric_query.dir/analyzer.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/analyzer.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/query/CMakeFiles/lyric_query.dir/ast.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/ast.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/lyric_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/formula_builder.cc" "src/query/CMakeFiles/lyric_query.dir/formula_builder.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/formula_builder.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/lyric_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/lyric_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/path_walker.cc" "src/query/CMakeFiles/lyric_query.dir/path_walker.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/path_walker.cc.o.d"
+  "/root/repo/src/query/result_set.cc" "src/query/CMakeFiles/lyric_query.dir/result_set.cc.o" "gcc" "src/query/CMakeFiles/lyric_query.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/object/CMakeFiles/lyric_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/lyric_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/lyric_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lyric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_query.dir/analyzer.cc.o"
+  "CMakeFiles/lyric_query.dir/analyzer.cc.o.d"
+  "CMakeFiles/lyric_query.dir/ast.cc.o"
+  "CMakeFiles/lyric_query.dir/ast.cc.o.d"
+  "CMakeFiles/lyric_query.dir/evaluator.cc.o"
+  "CMakeFiles/lyric_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/lyric_query.dir/formula_builder.cc.o"
+  "CMakeFiles/lyric_query.dir/formula_builder.cc.o.d"
+  "CMakeFiles/lyric_query.dir/lexer.cc.o"
+  "CMakeFiles/lyric_query.dir/lexer.cc.o.d"
+  "CMakeFiles/lyric_query.dir/parser.cc.o"
+  "CMakeFiles/lyric_query.dir/parser.cc.o.d"
+  "CMakeFiles/lyric_query.dir/path_walker.cc.o"
+  "CMakeFiles/lyric_query.dir/path_walker.cc.o.d"
+  "CMakeFiles/lyric_query.dir/result_set.cc.o"
+  "CMakeFiles/lyric_query.dir/result_set.cc.o.d"
+  "liblyric_query.a"
+  "liblyric_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_relational.dir/flat_algebra.cc.o"
+  "CMakeFiles/lyric_relational.dir/flat_algebra.cc.o.d"
+  "CMakeFiles/lyric_relational.dir/flat_relation.cc.o"
+  "CMakeFiles/lyric_relational.dir/flat_relation.cc.o.d"
+  "CMakeFiles/lyric_relational.dir/flatten.cc.o"
+  "CMakeFiles/lyric_relational.dir/flatten.cc.o.d"
+  "CMakeFiles/lyric_relational.dir/translator.cc.o"
+  "CMakeFiles/lyric_relational.dir/translator.cc.o.d"
+  "liblyric_relational.a"
+  "liblyric_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_storage.dir/serializer.cc.o"
+  "CMakeFiles/lyric_storage.dir/serializer.cc.o.d"
+  "liblyric_storage.a"
+  "liblyric_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_util.dir/status.cc.o"
+  "CMakeFiles/lyric_util.dir/status.cc.o.d"
+  "CMakeFiles/lyric_util.dir/string_util.cc.o"
+  "CMakeFiles/lyric_util.dir/string_util.cc.o.d"
+  "liblyric_util.a"
+  "liblyric_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

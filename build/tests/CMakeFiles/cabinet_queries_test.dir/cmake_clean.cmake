@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cabinet_queries_test.dir/cabinet_queries_test.cc.o"
+  "CMakeFiles/cabinet_queries_test.dir/cabinet_queries_test.cc.o.d"
+  "cabinet_queries_test"
+  "cabinet_queries_test.pdb"
+  "cabinet_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cabinet_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

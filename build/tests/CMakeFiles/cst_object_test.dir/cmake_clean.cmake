@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cst_object_test.dir/cst_object_test.cc.o"
+  "CMakeFiles/cst_object_test.dir/cst_object_test.cc.o.d"
+  "cst_object_test"
+  "cst_object_test.pdb"
+  "cst_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cst_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

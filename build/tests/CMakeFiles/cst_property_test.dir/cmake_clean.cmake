@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cst_property_test.dir/cst_property_test.cc.o"
+  "CMakeFiles/cst_property_test.dir/cst_property_test.cc.o.d"
+  "cst_property_test"
+  "cst_property_test.pdb"
+  "cst_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cst_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

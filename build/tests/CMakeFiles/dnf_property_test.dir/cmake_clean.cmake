@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnf_property_test.dir/dnf_property_test.cc.o"
+  "CMakeFiles/dnf_property_test.dir/dnf_property_test.cc.o.d"
+  "dnf_property_test"
+  "dnf_property_test.pdb"
+  "dnf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

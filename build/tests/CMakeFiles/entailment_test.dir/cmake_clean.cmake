@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entailment_test.dir/entailment_test.cc.o"
+  "CMakeFiles/entailment_test.dir/entailment_test.cc.o.d"
+  "entailment_test"
+  "entailment_test.pdb"
+  "entailment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entailment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_property_test.dir/flat_property_test.cc.o"
+  "CMakeFiles/flat_property_test.dir/flat_property_test.cc.o.d"
+  "flat_property_test"
+  "flat_property_test.pdb"
+  "flat_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

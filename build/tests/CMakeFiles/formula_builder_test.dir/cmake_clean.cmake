@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_builder_test.dir/formula_builder_test.cc.o"
+  "CMakeFiles/formula_builder_test.dir/formula_builder_test.cc.o.d"
+  "formula_builder_test"
+  "formula_builder_test.pdb"
+  "formula_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_constraint_test.dir/linear_constraint_test.cc.o"
+  "CMakeFiles/linear_constraint_test.dir/linear_constraint_test.cc.o.d"
+  "linear_constraint_test"
+  "linear_constraint_test.pdb"
+  "linear_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

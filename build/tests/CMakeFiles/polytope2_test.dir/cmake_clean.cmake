@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polytope2_test.dir/polytope2_test.cc.o"
+  "CMakeFiles/polytope2_test.dir/polytope2_test.cc.o.d"
+  "polytope2_test"
+  "polytope2_test.pdb"
+  "polytope2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polytope2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_shell.dir/lyric_shell.cpp.o"
+  "CMakeFiles/lyric_shell.dir/lyric_shell.cpp.o.d"
+  "lyric_shell"
+  "lyric_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
