@@ -3,15 +3,46 @@
 #ifndef LYRIC_BENCH_BENCH_COMMON_H_
 #define LYRIC_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <random>
 #include <vector>
 
 #include "constraint/conjunction.h"
 #include "constraint/dnf.h"
+#include "obs/metrics.h"
 
 namespace lyric {
 namespace bench {
+
+/// Emits per-iteration engine-counter deltas into the benchmark report.
+/// Declare one right before the `for (auto _ : state)` loop; on scope exit
+/// every counter that moved during the timed region shows up in the JSON
+/// and console output divided by the iteration count (e.g.
+/// `simplex.pivots=41.2/iter`).
+class CounterDeltas {
+ public:
+  explicit CounterDeltas(benchmark::State& state)
+      : state_(state), before_(obs::Registry::Global().Snapshot()) {}
+  ~CounterDeltas() {
+    obs::MetricsSnapshot delta =
+        obs::Registry::Global().Snapshot().DeltaSince(before_);
+    double iters = static_cast<double>(
+        state_.iterations() == 0 ? 1 : state_.iterations());
+    for (const auto& [name, value] : delta.counters) {
+      if (value == 0) continue;
+      state_.counters[name] =
+          benchmark::Counter(static_cast<double>(value) / iters);
+    }
+  }
+  CounterDeltas(const CounterDeltas&) = delete;
+  CounterDeltas& operator=(const CounterDeltas&) = delete;
+
+ private:
+  benchmark::State& state_;
+  obs::MetricsSnapshot before_;
+};
 
 /// Deterministic variable ids bvar0..bvar{n-1}.
 inline std::vector<VarId> BenchVars(size_t n) {

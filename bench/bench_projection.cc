@@ -29,6 +29,7 @@ void BM_EliminateOne(benchmark::State& state) {
   Conjunction c = bench::RandomPolytope(
       vars, static_cast<int>(state.range(0)), /*seed=*/7);
   size_t out_atoms = 0;
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = FourierMotzkin::EliminateVariable(c, vars[0]);
     benchmark::DoNotOptimize(r);
@@ -44,6 +45,7 @@ void BM_KeepOneViaLp(benchmark::State& state) {
   Conjunction c = bench::RandomPolytope(
       vars, static_cast<int>(state.range(0)), /*seed=*/7);
   size_t out_atoms = 0;
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = FourierMotzkin::ProjectOntoAtMostOne(c, vars[0]);
     benchmark::DoNotOptimize(r);
@@ -64,6 +66,7 @@ void BM_EliminateMany(benchmark::State& state) {
     keep.insert(vars[i]);
   }
   size_t out_atoms = 0;
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = FourierMotzkin::ProjectOnto(c, keep);
     benchmark::DoNotOptimize(r);
@@ -85,6 +88,7 @@ void BM_LazyExistentialProjection(benchmark::State& state) {
     keep.insert(vars[i]);
   }
   ExistentialConjunction ec(c);
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     ExistentialConjunction projected = ec.Project(keep);
     benchmark::DoNotOptimize(projected);

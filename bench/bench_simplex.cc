@@ -20,6 +20,7 @@ void BM_MaximizeByConstraints(benchmark::State& state) {
       vars, static_cast<int>(state.range(0)), /*seed=*/21);
   LinearExpr obj;
   for (VarId v : vars) obj.AddTerm(v, Rational(1));
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = Simplex::Maximize(obj, c);
     benchmark::DoNotOptimize(r);
@@ -32,6 +33,7 @@ void BM_MaximizeByVariables(benchmark::State& state) {
   Conjunction c = bench::RandomPolytope(vars, 24, /*seed=*/22);
   LinearExpr obj;
   for (VarId v : vars) obj.AddTerm(v, Rational(1));
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = Simplex::Maximize(obj, c);
     benchmark::DoNotOptimize(r);
@@ -43,6 +45,7 @@ void BM_SatisfiabilityClosed(benchmark::State& state) {
   auto vars = bench::BenchVars(6);
   Conjunction c = bench::RandomPolytope(
       vars, static_cast<int>(state.range(0)), /*seed=*/23);
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = Simplex::IsSatisfiable(c);
     benchmark::DoNotOptimize(r);
@@ -60,6 +63,7 @@ void BM_SatisfiabilityStrict(benchmark::State& state) {
                    ? LinearConstraint(atom.lhs(), RelOp::kLt)
                    : atom);
   }
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = Simplex::IsSatisfiable(strict);
     benchmark::DoNotOptimize(r);
@@ -79,6 +83,7 @@ void BM_FindPointWithDisequalities(benchmark::State& state) {
               Rational(-1));
     c.Add(LinearConstraint(e, RelOp::kNeq));
   }
+  bench::CounterDeltas obs_deltas(state);
   for (auto _ : state) {
     auto r = Simplex::FindPoint(c);
     benchmark::DoNotOptimize(r);

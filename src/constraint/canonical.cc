@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "constraint/simplex.h"
+#include "obs/metrics.h"
 
 namespace lyric {
 
@@ -62,6 +63,10 @@ Conjunction Canonical::SolveEqualities(const Conjunction& c) {
 
 Result<Conjunction> Canonical::Simplify(const Conjunction& c,
                                         CanonicalLevel level) {
+  LYRIC_OBS_COUNT("canonical.simplify_calls");
+  static obs::Timer& simplify_timer =
+      obs::Registry::Global().GetTimer("canonical.simplify");
+  obs::ScopedTimer scoped_timer(simplify_timer);
   Conjunction cur = c;
   if (level >= CanonicalLevel::kCheap) {
     cur = SolveEqualities(cur);
@@ -81,6 +86,7 @@ Result<Conjunction> Canonical::Simplify(const Conjunction& c,
       for (size_t j = 0; j < kept.size(); ++j) {
         if (j != i) rest.Add(kept[j]);
       }
+      LYRIC_OBS_COUNT("canonical.redundancy_checks");
       bool redundant = false;
       const LinearConstraint& atom = kept[i];
       if (atom.IsEquality()) {
@@ -101,6 +107,7 @@ Result<Conjunction> Canonical::Simplify(const Conjunction& c,
         redundant = !any_sat;
       }
       if (redundant) {
+        LYRIC_OBS_COUNT("canonical.atoms_removed");
         kept.erase(kept.begin() + static_cast<ptrdiff_t>(i));
       } else {
         ++i;

@@ -1,6 +1,7 @@
 #include "constraint/entailment.h"
 
 #include "constraint/simplex.h"
+#include "obs/metrics.h"
 
 namespace lyric {
 
@@ -13,6 +14,7 @@ using Clause = std::vector<LinearConstraint>;
 // satisfiable? DPLL-style with feasibility pruning.
 Result<bool> SatWithClauses(const Conjunction& base,
                             const std::vector<Clause>& clauses, size_t idx) {
+  LYRIC_OBS_COUNT("entailment.branches");
   LYRIC_ASSIGN_OR_RETURN(bool sat, Simplex::IsSatisfiable(base));
   if (!sat) return false;
   if (idx == clauses.size()) return true;
@@ -30,6 +32,7 @@ Result<bool> SatWithClauses(const Conjunction& base,
 
 Result<bool> Entailment::ConjunctionEntails(const Conjunction& lhs,
                                             const Dnf& rhs) {
+  LYRIC_OBS_COUNT("entailment.checks");
   // lhs |= D1 or ... or Dk  iff  lhs and not(D1) and ... and not(Dk) unsat.
   std::vector<Clause> clauses;
   clauses.reserve(rhs.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "constraint/simplex.h"
+#include "obs/metrics.h"
 
 namespace lyric {
 
@@ -11,6 +12,7 @@ namespace {
 // One raw Fourier-Motzkin step; the caller has verified no disequality
 // mentions `var`.
 Conjunction EliminateStep(const Conjunction& c, VarId var) {
+  LYRIC_OBS_COUNT("fm.vars_eliminated");
   // Prefer substitution through an equality mentioning the variable: it is
   // exact, linear-size, and preserves strictness of the other atoms.
   for (size_t i = 0; i < c.atoms().size(); ++i) {
@@ -27,6 +29,7 @@ Conjunction EliminateStep(const Conjunction& c, VarId var) {
       if (j == i) continue;
       out.Add(c.atoms()[j].Substitute(var, replacement));
     }
+    LYRIC_OBS_COUNT("fm.equality_substitutions");
     return out;
   }
   // Inequality combination. Normalize each atom mentioning var to
@@ -51,6 +54,7 @@ Conjunction EliminateStep(const Conjunction& c, VarId var) {
       lowers.emplace_back(std::move(bound), atom.IsStrict());
     }
   }
+  LYRIC_OBS_COUNT_N("fm.atoms_generated", lowers.size() * uppers.size());
   for (const auto& [lo, lo_strict] : lowers) {
     for (const auto& [up, up_strict] : uppers) {
       // lo (<|<=) var (<|<=) up  =>  lo - up (<|<=) 0.
@@ -93,12 +97,15 @@ Result<Conjunction> FourierMotzkin::EliminateVariable(const Conjunction& c,
                                                       VarId var) {
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarSet{var}));
   Conjunction out = EliminateStep(c, var);
+  size_t before_dedupe = out.size();
   out.SortAndDedupe();
+  LYRIC_OBS_COUNT_N("fm.atoms_dropped", before_dedupe - out.size());
   return out;
 }
 
 Result<Conjunction> FourierMotzkin::ProjectOntoAtMostOne(
     const Conjunction& c, std::optional<VarId> keep) {
+  LYRIC_OBS_COUNT("fm.lp_projections");
   VarSet keep_set;
   if (keep.has_value()) keep_set.insert(*keep);
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarsToEliminate(c, keep_set)));
@@ -140,6 +147,7 @@ Result<Conjunction> FourierMotzkin::ProjectOntoAtMostOne(
 
 Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
                                                 const VarSet& keep) {
+  LYRIC_OBS_COUNT("fm.projections");
   VarSet elim = VarsToEliminate(c, keep);
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, elim));
   Conjunction cur = c;
@@ -172,7 +180,9 @@ Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
     }
     if (!found) break;  // Remaining targets are absent already.
     cur = EliminateStep(cur, best);
+    size_t before_dedupe = cur.size();
     cur.SortAndDedupe();
+    LYRIC_OBS_COUNT_N("fm.atoms_dropped", before_dedupe - cur.size());
     elim.erase(best);
     if (cur.HasConstantFalse()) return Conjunction::False();
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace lyric {
 
 const char* LpStatusToString(LpStatus status) {
@@ -15,6 +17,13 @@ const char* LpStatusToString(LpStatus status) {
       return "unbounded";
   }
   return "?";
+}
+
+std::optional<LpStatus> LpStatusFromString(std::string_view s) {
+  if (s == "optimal") return LpStatus::kOptimal;
+  if (s == "infeasible") return LpStatus::kInfeasible;
+  if (s == "unbounded") return LpStatus::kUnbounded;
+  return std::nullopt;
 }
 
 namespace {
@@ -46,6 +55,10 @@ class CoreLp {
   // Maximizes `obj . y` (+ nothing; callers track constants).
   CoreSolution Maximize(const std::vector<Rational>& obj) {
     assert(obj.size() == num_cols_);
+    LYRIC_OBS_COUNT("simplex.lp_solves");
+    static obs::Timer& solve_timer =
+        obs::Registry::Global().GetTimer("simplex.solve");
+    obs::ScopedTimer scoped_timer(solve_timer);
     // Normalize rhs >= 0.
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rhs_[i].IsNegative()) {
@@ -73,9 +86,12 @@ class CoreLp {
       for (size_t j = 0; j < total_cols; ++j) z[j] += rows_[i][j];
       zval -= rhs_[i];
     }
-    LpStatus st = RunSimplex(&z, &zval, total_cols);
+    static obs::Counter& phase1_iters =
+        obs::Registry::Global().GetCounter("simplex.phase1_iterations");
+    LpStatus st = RunSimplex(&z, &zval, total_cols, &phase1_iters);
     (void)st;  // Phase 1 cannot be unbounded (objective <= 0).
     if (!zval.IsZero()) {
+      LYRIC_OBS_COUNT("simplex.lp_infeasible");
       return {LpStatus::kInfeasible, Rational(), {}};
     }
     // Drive any artificial out of the basis.
@@ -109,8 +125,11 @@ class CoreLp {
         z2val += c * rhs_[i];
       }
     }
-    LpStatus st2 = RunSimplex(&z2, &z2val, num_cols_);
+    static obs::Counter& phase2_iters =
+        obs::Registry::Global().GetCounter("simplex.phase2_iterations");
+    LpStatus st2 = RunSimplex(&z2, &z2val, num_cols_, &phase2_iters);
     if (st2 == LpStatus::kUnbounded) {
+      LYRIC_OBS_COUNT("simplex.lp_unbounded");
       return {LpStatus::kUnbounded, Rational(), {}};
     }
     CoreSolution out;
@@ -127,11 +146,14 @@ class CoreLp {
   // Runs simplex with Dantzig's largest-coefficient rule, falling back to
   // Bland's rule (which cannot cycle) once the iteration count suggests
   // degeneracy. Entering columns are restricted to [0, entering_limit).
+  // `iteration_counter` receives one increment per simplex iteration.
   LpStatus RunSimplex(std::vector<Rational>* z, Rational* zval,
-                      size_t entering_limit) {
+                      size_t entering_limit,
+                      obs::Counter* iteration_counter) {
     const size_t bland_after = 20 * (rows_.size() + entering_limit) + 200;
     size_t iterations = 0;
     for (;;) {
+      iteration_counter->Increment();
       size_t enter = entering_limit;
       if (iterations++ < bland_after) {
         // Dantzig: most positive reduced cost.
@@ -170,6 +192,7 @@ class CoreLp {
 
   void Pivot(size_t row, size_t col, std::vector<Rational>* z, Rational* zval,
              size_t total_cols) {
+    LYRIC_OBS_COUNT("simplex.pivots");
     Rational p = rows_[row][col];
     assert(!p.IsZero());
     Rational inv = p.Inverse();
@@ -405,6 +428,7 @@ bool ClosedEntailsZero(const SplitAtoms& closure, const LinearExpr& expr) {
 }  // namespace
 
 Result<bool> Simplex::IsSatisfiable(const Conjunction& c) {
+  LYRIC_OBS_COUNT("simplex.calls.is_satisfiable");
   SplitAtoms atoms = Split(c);
   ClosedLpResult base = SatNoDiseq(atoms);
   if (base.status != LpStatus::kOptimal) return false;
@@ -419,6 +443,7 @@ Result<bool> Simplex::IsSatisfiable(const Conjunction& c) {
 }
 
 Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {
+  LYRIC_OBS_COUNT("simplex.calls.find_point");
   LYRIC_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(c));
   if (!sat) return std::optional<Assignment>();
 
@@ -516,6 +541,7 @@ Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {
 
 Result<LpSolution> Simplex::Maximize(const LinearExpr& objective,
                                      const Conjunction& c) {
+  LYRIC_OBS_COUNT("simplex.calls.maximize");
   LpSolution out;
   {
     // Fast path: a closed system (no strict atoms, no disequalities) needs
@@ -573,6 +599,7 @@ Result<LpSolution> Simplex::Minimize(const LinearExpr& objective,
 
 Result<bool> Simplex::EntailsZero(const Conjunction& c,
                                   const LinearExpr& expr) {
+  LYRIC_OBS_COUNT("simplex.calls.entails_zero");
   SplitAtoms atoms = Split(c);
   // If c itself is unsatisfiable, entailment holds vacuously.
   LYRIC_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(c));

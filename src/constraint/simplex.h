@@ -20,6 +20,7 @@
 #define LYRIC_CONSTRAINT_SIMPLEX_H_
 
 #include <optional>
+#include <string_view>
 
 #include "constraint/conjunction.h"
 
@@ -29,6 +30,8 @@ namespace lyric {
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
 
 const char* LpStatusToString(LpStatus status);
+/// Inverse of LpStatusToString; nullopt for an unknown string.
+std::optional<LpStatus> LpStatusFromString(std::string_view s);
 
 /// Result of Maximize/Minimize.
 struct LpSolution {

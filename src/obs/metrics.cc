@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lyric {
+namespace obs {
+
+namespace {
+
+// Formats nanoseconds as a human-friendly duration.
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us",
+                  static_cast<double>(ns) / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    uint64_t base = it == before.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= base ? value - base : 0;
+  }
+  for (const auto& [name, stats] : timers) {
+    auto it = before.timers.find(name);
+    TimerStats delta = stats;
+    if (it != before.timers.end()) {
+      delta.count = stats.count >= it->second.count
+                        ? stats.count - it->second.count
+                        : 0;
+      delta.total_ns = stats.total_ns >= it->second.total_ns
+                           ? stats.total_ns - it->second.total_ns
+                           : 0;
+      // max_ns is not subtractive; keep the later snapshot's max.
+    }
+    out.timers[name] = delta;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  size_t width = 0;
+  for (const auto& [name, value] : counters) {
+    if (value != 0) width = std::max(width, name.size());
+  }
+  for (const auto& [name, stats] : timers) {
+    if (stats.count != 0) width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    out += "  " + name + std::string(width + 2 - name.size(), ' ') +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& [name, stats] : timers) {
+    if (stats.count == 0) continue;
+    out += "  " + name + std::string(width + 2 - name.size(), ' ') +
+           std::to_string(stats.count) + " calls, total " +
+           FormatNs(stats.total_ns) + ", max " + FormatNs(stats.max_ns) +
+           "\n";
+  }
+  if (out.empty()) out = "  (no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"timers\": {";
+  first = true;
+  for (const auto& [name, stats] : timers) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(stats.count) + ", \"total_ns\": " +
+           std::to_string(stats.total_ns) + ", \"max_ns\": " +
+           std::to_string(stats.max_ns) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Timer& Registry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(name, std::unique_ptr<Timer>(new Timer(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter->value();
+  }
+  for (const auto& [name, timer] : timers_) {
+    MetricsSnapshot::TimerStats stats;
+    stats.count = timer->count_.load(std::memory_order_relaxed);
+    stats.total_ns = timer->total_ns_.load(std::memory_order_relaxed);
+    stats.max_ns = timer->max_ns_.load(std::memory_order_relaxed);
+    out.timers[name] = stats;
+  }
+  return out;
+}
+
+void Registry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, timer] : timers_) {
+    timer->count_.store(0, std::memory_order_relaxed);
+    timer->total_ns_.store(0, std::memory_order_relaxed);
+    timer->max_ns_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace lyric

@@ -1,0 +1,169 @@
+// Process-wide observability metrics: named atomic counters and latency
+// timers, collected in a global registry.
+//
+// Counters are monotonic and always on: an increment is a single relaxed
+// atomic add, negligible next to the exact-rational arithmetic it counts
+// (bench_paper_queries stays within noise of an uninstrumented build).
+// Reading is the only operation that takes a lock: Registry::Snapshot()
+// copies every value under the registry mutex, so hot paths never contend
+// with readers.
+//
+// Usage on a hot path — resolve the handle once per call site:
+//
+//   LYRIC_OBS_COUNT("simplex.pivots");              // +1
+//   LYRIC_OBS_COUNT_N("fm.atoms_generated", pairs); // +pairs
+//
+// or keep an explicit handle when a site needs several updates:
+//
+//   static obs::Counter& calls =
+//       obs::Registry::Global().GetCounter("simplex.lp_solves");
+//   calls.Increment();
+//
+// Snapshots subtract (`DeltaSince`) so per-query and per-benchmark deltas
+// come straight out of the monotonic values.
+
+#ifndef LYRIC_OBS_METRICS_H_
+#define LYRIC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace lyric {
+namespace obs {
+
+/// A named monotonic counter. Obtained from Registry::GetCounter; the
+/// reference stays valid for the life of the process.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A named latency accumulator: count, total and max of recorded
+/// durations. Record with ScopedTimer or Record(nanos).
+class Timer {
+ public:
+  void Record(uint64_t nanos) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(nanos, std::memory_order_relaxed);
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (prev < nanos &&
+           !max_ns_.compare_exchange_weak(prev, nanos,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Timer(std::string name) : name_(std::move(name)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// RAII wall-clock measurement into a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct TimerStats {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, TimerStats> timers;
+
+  /// Per-metric difference `this - before` (counters are monotonic, so the
+  /// delta of a later snapshot against an earlier one is non-negative).
+  /// Metrics registered after `before` appear with their full value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+
+  /// Pretty table of the non-zero metrics (one "name  value" line each).
+  std::string ToString() const;
+
+  /// {"counters": {...}, "timers": {name: {count, total_ns, max_ns}}}.
+  std::string ToJson() const;
+};
+
+/// The process-wide metric registry. Get-or-create is mutex-guarded;
+/// returned references are stable forever.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Timer& GetTimer(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric. Tests and benchmark setup only —
+  /// production counters are monotonic by contract.
+  void ResetForTesting();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (shared by the
+/// metric and trace exporters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace lyric
+
+/// Increments the named global counter by 1 / by `n`. The handle lookup
+/// happens once per call site (function-local static).
+#define LYRIC_OBS_COUNT(name) LYRIC_OBS_COUNT_N(name, 1)
+#define LYRIC_OBS_COUNT_N(name, n)                            \
+  do {                                                        \
+    static ::lyric::obs::Counter& lyric_obs_counter_ =        \
+        ::lyric::obs::Registry::Global().GetCounter(name);    \
+    lyric_obs_counter_.Increment(                             \
+        static_cast<uint64_t>(n));                            \
+  } while (0)
+
+#endif  // LYRIC_OBS_METRICS_H_

@@ -1,0 +1,23 @@
+#include "obs/profile.h"
+
+namespace lyric {
+namespace obs {
+
+std::string QueryProfile::ToString() const {
+  std::string out = "stages:\n";
+  std::string tree = trace.ToPrettyString();
+  // Indent the span tree under the "stages:" heading.
+  size_t pos = 0;
+  while (pos < tree.size()) {
+    size_t end = tree.find('\n', pos);
+    if (end == std::string::npos) end = tree.size();
+    out += "  " + tree.substr(pos, end - pos) + "\n";
+    pos = end + 1;
+  }
+  out += "counters (this query):\n";
+  out += CounterDeltas().ToString();
+  return out;
+}
+
+}  // namespace obs
+}  // namespace lyric

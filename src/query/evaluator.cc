@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/analyzer.h"
 #include "query/formula_builder.h"
 #include "query/parser.h"
@@ -85,8 +87,35 @@ Result<LpSolution> MaximizeDe(const DisjunctiveExistential& de,
 }  // namespace
 
 Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
-  LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(query_text));
-  return Execute(query);
+  if (!options_.collect_trace) {
+    LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(query_text));
+    return ExecuteImpl(query);
+  }
+  auto profile = std::make_shared<obs::QueryProfile>();
+  profile->counters_before = obs::Registry::Global().Snapshot();
+  obs::ScopedTraceSession session(&profile->trace);
+  Result<ast::Query> query = [&]() -> Result<ast::Query> {
+    obs::Span span("parse");
+    return ParseQuery(query_text);
+  }();
+  if (!query.ok()) return query.status();
+  Result<ResultSet> r = ExecuteImpl(*query);
+  session.Stop();
+  profile->counters_after = obs::Registry::Global().Snapshot();
+  if (r.ok()) r->set_profile(std::move(profile));
+  return r;
+}
+
+Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
+  if (!options_.collect_trace) return ExecuteImpl(query);
+  auto profile = std::make_shared<obs::QueryProfile>();
+  profile->counters_before = obs::Registry::Global().Snapshot();
+  obs::ScopedTraceSession session(&profile->trace);
+  Result<ResultSet> r = ExecuteImpl(query);
+  session.Stop();
+  profile->counters_after = obs::Registry::Global().Snapshot();
+  if (r.ok()) r->set_profile(std::move(profile));
+  return r;
 }
 
 Result<std::vector<Binding>> Evaluator::EnumerateFrom(
@@ -302,6 +331,7 @@ Result<Oid> Evaluator::EvalOptimize(const ast::SelectItem& item,
   }
   LYRIC_ASSIGN_OR_RETURN(CstObject obj,
                          CstObject::FromConjunction(interface_vars, point));
+  LYRIC_OBS_COUNT("evaluator.cst_constructed");
   return db_->InternCst(obj);
 }
 
@@ -322,13 +352,22 @@ Result<std::vector<std::vector<Oid>>> Evaluator::EvalSelect(
       }
       case ast::SelectItem::Kind::kFormulaObject: {
         FormulaBuilder fb(db_, &declared);
-        LYRIC_ASSIGN_OR_RETURN(
-            CstObject obj,
-            fb.BuildProjectionObject(*item.formula, binding,
-                                     options_.eager_select_projection));
-        LYRIC_ASSIGN_OR_RETURN(CstObject canon,
-                               obj.Canonicalize(options_.canonical_level));
+        CstObject obj;
+        {
+          obs::Span span("construct_cst");
+          LYRIC_ASSIGN_OR_RETURN(
+              obj,
+              fb.BuildProjectionObject(*item.formula, binding,
+                                       options_.eager_select_projection));
+        }
+        CstObject canon;
+        {
+          obs::Span span("canonicalize");
+          LYRIC_ASSIGN_OR_RETURN(canon,
+                                 obj.Canonicalize(options_.canonical_level));
+        }
         LYRIC_ASSIGN_OR_RETURN(Oid oid, db_->InternCst(canon));
+        LYRIC_OBS_COUNT("evaluator.cst_constructed");
         options.push_back(std::move(oid));
         break;
       }
@@ -448,9 +487,11 @@ Status Evaluator::MaterializeView(const ast::Query& query,
   return Status::OK();
 }
 
-Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
+Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
+  LYRIC_OBS_COUNT("evaluator.queries");
   created_classes_.clear();
   if (options_.analyze_first) {
+    obs::Span span("analyze");
     Analyzer analyzer(db_);
     LYRIC_RETURN_NOT_OK(analyzer.Analyze(query).status());
   }
@@ -471,10 +512,16 @@ Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
   }
   ResultSet out(std::move(columns));
 
-  LYRIC_ASSIGN_OR_RETURN(std::vector<Binding> bindings, EnumerateFrom(query));
+  std::vector<Binding> bindings;
+  {
+    obs::Span span("from");
+    LYRIC_ASSIGN_OR_RETURN(bindings, EnumerateFrom(query));
+  }
+  LYRIC_OBS_COUNT_N("evaluator.bindings_enumerated", bindings.size());
   for (const Binding& base : bindings) {
     std::vector<Binding> survivors{base};
     if (query.where) {
+      obs::Span span("where");
       LYRIC_ASSIGN_OR_RETURN(survivors,
                              EvalWhere(*query.where, base, declared, 0));
     }
@@ -482,17 +529,28 @@ Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
     std::sort(survivors.begin(), survivors.end());
     survivors.erase(std::unique(survivors.begin(), survivors.end()),
                     survivors.end());
+    LYRIC_OBS_COUNT_N("evaluator.bindings_survived", survivors.size());
+    LYRIC_OBS_COUNT_N("evaluator.bindings_filtered",
+                      survivors.empty() ? 1 : 0);
     for (const Binding& b : survivors) {
-      LYRIC_ASSIGN_OR_RETURN(std::vector<std::vector<Oid>> rows,
-                             EvalSelect(query, b, declared));
+      std::vector<std::vector<Oid>> rows;
+      {
+        obs::Span span("select");
+        LYRIC_ASSIGN_OR_RETURN(rows, EvalSelect(query, b, declared));
+      }
       for (std::vector<Oid>& row : rows) {
+        // Safety valve: stop at the limit instead of over-producing. The
+        // rows already collected are a correct prefix of the answer.
+        if (out.size() >= options_.max_rows) {
+          LYRIC_OBS_COUNT("evaluator.rows_truncated");
+          out.set_truncated(true);
+          return out;
+        }
         if (query.is_view) {
           LYRIC_RETURN_NOT_OK(MaterializeView(query, b, row));
         }
         out.AddRow(std::move(row));
-        if (out.size() > options_.max_rows) {
-          return Status::InvalidArgument("result exceeds max_rows");
-        }
+        LYRIC_OBS_COUNT("evaluator.rows_emitted");
       }
     }
   }

@@ -35,13 +35,19 @@ struct EvalOptions {
   /// skips the per-atom LP calls (bench/bench_canonical quantifies the
   /// trade).
   CanonicalLevel canonical_level = CanonicalLevel::kRedundancy;
-  /// Safety valve on result size.
+  /// Safety valve on result size: evaluation stops once the result holds
+  /// this many rows. The truncation is flagged on the ResultSet
+  /// (`truncated()`) and counted as `evaluator.rows_truncated`.
   size_t max_rows = 1000000;
   /// Run the static analyzer before evaluating: schema typos and
   /// bind-before-use mistakes fail fast with positioned messages instead
   /// of surfacing mid-evaluation. Off by default so that exploratory
   /// queries over half-built schemas still run.
   bool analyze_first = false;
+  /// Record a per-query obs::QueryProfile (stage span tree + counter
+  /// deltas) and attach it to the ResultSet. Off by default: with no
+  /// collector installed every obs::Span is a single null check.
+  bool collect_trace = false;
 };
 
 /// Executes LyriC queries against a Database.
@@ -61,6 +67,9 @@ class Evaluator {
   }
 
  private:
+  // The untraced evaluation pipeline; the public Execute overloads wrap it
+  // in a trace session when options_.collect_trace is set.
+  Result<ResultSet> ExecuteImpl(const ast::Query& query);
   Result<std::vector<Binding>> EnumerateFrom(const ast::Query& query) const;
   Result<std::vector<Binding>> EvalWhere(const ast::WhereExpr& where,
                                          const Binding& binding,

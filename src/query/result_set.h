@@ -4,10 +4,12 @@
 #ifndef LYRIC_QUERY_RESULT_SET_H_
 #define LYRIC_QUERY_RESULT_SET_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "object/oid.h"
+#include "obs/profile.h"
 
 namespace lyric {
 
@@ -37,9 +39,25 @@ class ResultSet {
   /// Tabular rendering.
   std::string ToString() const;
 
+  /// True when the evaluator stopped early because the result reached
+  /// EvalOptions::max_rows; the rows present are a correct prefix.
+  bool truncated() const { return truncated_; }
+  void set_truncated(bool truncated) { truncated_ = truncated; }
+
+  /// The observability record of the evaluation that produced this result,
+  /// present when EvalOptions::collect_trace was set; null otherwise.
+  const std::shared_ptr<const obs::QueryProfile>& profile() const {
+    return profile_;
+  }
+  void set_profile(std::shared_ptr<const obs::QueryProfile> profile) {
+    profile_ = std::move(profile);
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<Oid>> rows_;
+  bool truncated_ = false;
+  std::shared_ptr<const obs::QueryProfile> profile_;
 };
 
 }  // namespace lyric

@@ -1,5 +1,7 @@
 #include "relational/translator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 
 namespace lyric {
@@ -96,6 +98,7 @@ Result<std::string> FlatTranslator::ProcessPath(const ast::PathExpr& path,
         LYRIC_ASSIGN_OR_RETURN(const FlatRelation* target,
                                flat_->Relation(attr->target_class));
         FlatRelation prefixed = target->WithPrefix(var + ".");
+        LYRIC_OBS_COUNT("translator.joins");
         LYRIC_ASSIGN_OR_RETURN(
             st->rel,
             FlatAlgebra::Join(st->rel, attr_col, prefixed, var + ".oid"));
@@ -285,17 +288,23 @@ Status FlatTranslator::ProcessWhere(const ast::WhereExpr& where,
 }
 
 Result<FlatRelation> FlatTranslator::Execute(const ast::Query& query) {
+  LYRIC_OBS_COUNT("translator.queries");
   if (query.is_view) {
     return Status::NotImplemented(
         "flat translation: views are evaluated by the direct evaluator");
   }
   TranslationState st;
-  LYRIC_RETURN_NOT_OK(ProcessFrom(query, &st));
+  {
+    obs::Span span("translate_from");
+    LYRIC_RETURN_NOT_OK(ProcessFrom(query, &st));
+  }
   if (query.where) {
+    obs::Span span("translate_where");
     LYRIC_RETURN_NOT_OK(ProcessWhere(*query.where, &st));
   }
   // SELECT: resolve each item to a column (constructing CST columns for
   // projection formulas), then project.
+  obs::Span select_span("translate_select");
   std::vector<std::string> out_cols;
   int cst_counter = 0;
   for (const ast::SelectItem& item : query.select) {

@@ -1,0 +1,190 @@
+// Unit tests for the observability layer: the metric registry, snapshot
+// deltas, trace span trees, and the LpStatus string round-trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "constraint/simplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lyric {
+namespace obs {
+namespace {
+
+TEST(RegistryTest, GetCounterReturnsSameInstance) {
+  Counter& a = Registry::Global().GetCounter("test.same_instance");
+  Counter& b = Registry::Global().GetCounter("test.same_instance");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.same_instance");
+}
+
+TEST(RegistryTest, CounterIsMonotonic) {
+  Counter& c = Registry::Global().GetCounter("test.monotonic");
+  uint64_t before = c.value();
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(RegistryTest, SnapshotDelta) {
+  Counter& c = Registry::Global().GetCounter("test.delta");
+  MetricsSnapshot before = Registry::Global().Snapshot();
+  c.Increment(7);
+  MetricsSnapshot after = Registry::Global().Snapshot();
+  MetricsSnapshot delta = after.DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("test.delta"), 7u);
+}
+
+TEST(RegistryTest, SnapshotJsonContainsMetrics) {
+  Registry::Global().GetCounter("test.json_counter").Increment(3);
+  Timer& t = Registry::Global().GetTimer("test.json_timer");
+  t.Record(1000);
+  std::string json = Registry::Global().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_timer\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+}
+
+TEST(RegistryTest, TimerRecordsCountTotalMax) {
+  Timer& t = Registry::Global().GetTimer("test.timer_stats");
+  t.Record(100);
+  t.Record(300);
+  t.Record(200);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const auto& stats = snap.timers.at("test.timer_stats");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.total_ns, 600u);
+  EXPECT_EQ(stats.max_ns, 300u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  Counter& c = Registry::Global().GetCounter("test.concurrent");
+  uint64_t before = c.value();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    // Each thread re-fetches the counter by name, exercising the
+    // registry's get-or-create lock under contention too.
+    threads.emplace_back([] {
+      Counter& mine = Registry::Global().GetCounter("test.concurrent");
+      for (int k = 0; k < kIncrements; ++k) mine.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + kThreads * kIncrements);
+}
+
+TEST(RegistryTest, CountMacroIncrements) {
+  uint64_t before =
+      Registry::Global().GetCounter("test.macro_counter").value();
+  LYRIC_OBS_COUNT("test.macro_counter");
+  LYRIC_OBS_COUNT_N("test.macro_counter", 4);
+  EXPECT_EQ(Registry::Global().GetCounter("test.macro_counter").value(),
+            before + 5);
+}
+
+TEST(TraceTest, SpanWithoutCollectorIsNoOp) {
+  ASSERT_EQ(TraceCollector::Current(), nullptr);
+  Span span("orphan");  // Must not crash or allocate a tree anywhere.
+  SUCCEED();
+}
+
+TEST(TraceTest, CollectsNestedSpans) {
+  TraceCollector collector;
+  {
+    ScopedTraceSession session(&collector);
+    EXPECT_EQ(TraceCollector::Current(), &collector);
+    {
+      Span outer("from");
+      Span inner("where");
+    }
+    Span select("select");
+  }
+  EXPECT_EQ(TraceCollector::Current(), nullptr);
+  const SpanNode& root = collector.root();
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 2u);
+  const SpanNode* from = root.FindChild("from");
+  ASSERT_NE(from, nullptr);
+  EXPECT_NE(from->FindChild("where"), nullptr);
+  EXPECT_NE(root.FindChild("select"), nullptr);
+  EXPECT_EQ(root.CountChildren("from"), 1u);
+  EXPECT_EQ(root.CountChildren("nope"), 0u);
+}
+
+TEST(TraceTest, IndexedSpanNames) {
+  TraceCollector collector;
+  {
+    ScopedTraceSession session(&collector);
+    Span s("where", 3);
+  }
+  EXPECT_NE(collector.root().FindChild("where[3]"), nullptr);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  TraceCollector collector;
+  {
+    ScopedTraceSession session(&collector);
+    Span s("parse");
+  }
+  std::string json = collector.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+}
+
+TEST(TraceTest, PrettyStringListsStages) {
+  TraceCollector collector;
+  {
+    ScopedTraceSession session(&collector);
+    Span s("from");
+  }
+  std::string pretty = collector.ToPrettyString();
+  EXPECT_NE(pretty.find("query"), std::string::npos);
+  EXPECT_NE(pretty.find("from"), std::string::npos);
+}
+
+TEST(TraceTest, SessionsNest) {
+  TraceCollector outer_collector;
+  TraceCollector inner_collector;
+  ScopedTraceSession outer(&outer_collector);
+  {
+    ScopedTraceSession inner(&inner_collector);
+    EXPECT_EQ(TraceCollector::Current(), &inner_collector);
+  }
+  EXPECT_EQ(TraceCollector::Current(), &outer_collector);
+  outer.Stop();
+  EXPECT_EQ(TraceCollector::Current(), nullptr);
+}
+
+TEST(LpStatusTest, StringRoundTrip) {
+  for (LpStatus s : {LpStatus::kOptimal, LpStatus::kInfeasible,
+                     LpStatus::kUnbounded}) {
+    auto back = LpStatusFromString(LpStatusToString(s));
+    ASSERT_TRUE(back.has_value()) << LpStatusToString(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(LpStatusFromString("no-such-status").has_value());
+  EXPECT_FALSE(LpStatusFromString("").has_value());
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lyric

@@ -12,14 +12,20 @@
 //   .objects [CLASS]     list stored objects (optionally of one class)
 //   .office              load the bundled Figure 1/2 office database
 //   .analyze QUERY       run the static analyzer only
+//   .stats               engine counters accumulated this session
+//   .profile QUERY       run QUERY with tracing: stage breakdown + counters
+//   .trace on PATH       write a Chrome trace JSON per query to PATH
+//   .trace off           stop writing traces
 //   .load PATH / .save PATH
 //   .quit
 // Anything else is parsed as a LyriC query and evaluated.
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "office/office_db.h"
 #include "query/analyzer.h"
 #include "query/evaluator.h"
@@ -103,6 +109,7 @@ int main(int argc, char** argv) {
   std::cout << "LyriC shell — .help for commands, .quit to exit\n";
   std::string line;
   std::string pending;
+  std::string trace_path;  // non-empty: write a Chrome trace per query
   while (true) {
     std::cout << (pending.empty() ? "lyric> " : "  ...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
@@ -117,7 +124,40 @@ int main(int argc, char** argv) {
       if (cmd == ".help") {
         std::cout << "  .classes | .schema CLASS | .objects [CLASS] | "
                      ".office | .analyze QUERY | .load PATH | .save PATH | "
-                     ".quit\n  anything else: a LyriC query ending in ';'\n";
+                     ".quit\n  .stats               engine counters for this "
+                     "session\n  .profile QUERY       stage timings + counter "
+                     "deltas for one query\n  .trace on PATH       write a "
+                     "Chrome trace JSON per query to PATH\n  .trace off       "
+                     "    stop writing traces\n  anything else: a LyriC query "
+                     "ending in ';'\n";
+      } else if (cmd == ".stats") {
+        std::cout << obs::Registry::Global().Snapshot().ToString();
+      } else if (cmd == ".profile") {
+        EvalOptions opts;
+        opts.collect_trace = true;
+        Evaluator ev(&db, opts);
+        auto r = ev.Execute(arg);
+        if (!r.ok()) {
+          std::cout << r.status() << "\n";
+          continue;
+        }
+        std::cout << r->ToString() << "\n";
+        if (r->profile() != nullptr) {
+          std::cout << r->profile()->ToString();
+        }
+      } else if (cmd == ".trace") {
+        std::istringstream as(arg);
+        std::string mode, path;
+        as >> mode >> path;
+        if (mode == "off") {
+          trace_path.clear();
+          std::cout << "tracing off\n";
+        } else if (mode == "on" && !path.empty()) {
+          trace_path = path;
+          std::cout << "tracing to " << trace_path << "\n";
+        } else {
+          std::cout << "usage: .trace on PATH | .trace off\n";
+        }
       } else if (cmd == ".classes") {
         PrintClasses(db);
       } else if (cmd == ".schema") {
@@ -174,12 +214,23 @@ int main(int argc, char** argv) {
     // Accumulate query text until a ';'.
     pending += line + "\n";
     if (line.find(';') == std::string::npos) continue;
-    Evaluator ev(&db);
+    EvalOptions opts;
+    opts.collect_trace = !trace_path.empty();
+    Evaluator ev(&db, opts);
     auto r = ev.Execute(pending);
     pending.clear();
     if (!r.ok()) {
       std::cout << r.status() << "\n";
       continue;
+    }
+    if (!trace_path.empty() && r->profile() != nullptr) {
+      std::ofstream out(trace_path, std::ios::trunc);
+      if (out) {
+        out << r->profile()->ToChromeTraceJson();
+        std::cout << "(trace written to " << trace_path << ")\n";
+      } else {
+        std::cout << "(could not open " << trace_path << ")\n";
+      }
     }
     std::cout << r->ToString() << "\n";
     for (const std::string& cls : ev.created_classes()) {
