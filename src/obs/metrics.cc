@@ -104,17 +104,25 @@ std::string MetricsSnapshot::ToJson() const {
   for (const auto& [name, value] : counters) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+    out += '"';
+    out += JsonEscape(name);
+    out += "\": ";
+    out += std::to_string(value);
   }
   out += "}, \"timers\": {";
   first = true;
   for (const auto& [name, stats] : timers) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
-           std::to_string(stats.count) + ", \"total_ns\": " +
-           std::to_string(stats.total_ns) + ", \"max_ns\": " +
-           std::to_string(stats.max_ns) + "}";
+    out += '"';
+    out += JsonEscape(name);
+    out += "\": {\"count\": ";
+    out += std::to_string(stats.count);
+    out += ", \"total_ns\": ";
+    out += std::to_string(stats.total_ns);
+    out += ", \"max_ns\": ";
+    out += std::to_string(stats.max_ns);
+    out += '}';
   }
   out += "}}";
   return out;

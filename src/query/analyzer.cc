@@ -1,5 +1,9 @@
 #include "query/analyzer.h"
 
+#include <algorithm>
+
+#include "query/family_check.h"
+#include "query/parser.h"
 #include "query/path_walker.h"
 
 namespace lyric {
@@ -32,21 +36,54 @@ std::optional<size_t> CstDimensionOf(const std::string& cls) {
   return ParseCstClassName(cls);
 }
 
+// Emits an error diagnostic; the false return is the caller's "stop this
+// clause" signal.
+bool EmitError(AnalysisReport* report, DiagCode code, SourceSpan span,
+               std::string message) {
+  report->diagnostics.push_back(MakeDiag(code, span, std::move(message)));
+  return false;
+}
+
+// Emits a warning diagnostic and mirrors it into the legacy string list.
+void EmitWarning(AnalysisReport* report, DiagCode code, SourceSpan span,
+                 std::string message) {
+  report->warnings.push_back(message);
+  report->diagnostics.push_back(MakeDiag(code, span, std::move(message)));
+}
+
 }  // namespace
 
-Result<std::string> Analyzer::AnalyzePath(const ast::PathExpr& path,
-                                          Scope* scope,
-                                          AnalysisReport* report,
-                                          bool binding_allowed) const {
+StatusCode DiagCodeToStatusCode(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError:
+    case DiagCode::kSyntaxError:
+      return StatusCode::kParseError;
+    case DiagCode::kUnknownClass:
+    case DiagCode::kUnknownViewParent:
+    case DiagCode::kUnknownSigTarget:
+      return StatusCode::kNotFound;
+    case DiagCode::kViewExists:
+      return StatusCode::kAlreadyExists;
+    default:
+      return StatusCode::kTypeError;
+  }
+}
+
+bool Analyzer::CheckPath(const ast::PathExpr& path, Scope* scope,
+                         AnalysisReport* report, bool binding_allowed,
+                         std::string* tail_class) const {
   std::string cur_class;
   if (path.head.kind == ast::NameOrLiteral::Kind::kLiteral) {
     cur_class = "";  // Literal heads type as their oid kind; steps rare.
   } else if (scope->declared.count(path.head.name)) {
     if (!scope->IsBound(path.head.name)) {
-      return Status::TypeError(
+      return EmitError(
+          report, DiagCode::kUseBeforeBind,
+          {path.offset, path.head.name.size()},
           "variable '" + path.head.name + "' is used in path " +
-          path.ToString() +
-          " before it is bound (bind it via FROM or an earlier conjunct)");
+              path.ToString() +
+              " before it is bound (bind it via FROM or an earlier "
+              "conjunct)");
     }
     cur_class = scope->bound.at(path.head.name);
   } else {
@@ -56,17 +93,23 @@ Result<std::string> Analyzer::AnalyzePath(const ast::PathExpr& path,
       Result<std::string> cls = db_->ClassOf(sym);
       if (cls.ok()) cur_class = *cls;
     } else {
-      report->warnings.push_back("symbolic oid '" + path.head.name +
-                                 "' does not name a stored object");
+      EmitWarning(report, DiagCode::kUnknownSymbolicOid,
+                  {path.offset, path.head.name.size()},
+                  "symbolic oid '" + path.head.name +
+                      "' does not name a stored object");
     }
   }
   for (const ast::PathExpr::Step& step : path.steps) {
     std::string next_class;
     bool next_known = false;
+    const AttributeDef* cst_attr = nullptr;
     if (IsAttributeVariable(*db_, step.attribute)) {
-      report->warnings.push_back(
+      EmitWarning(
+          report, DiagCode::kAttributeVariable,
+          {step.offset, step.attribute.size()},
           "'" + step.attribute + "' in path " + path.ToString() +
-          " is a higher-order attribute variable (enumerates attributes)");
+              " is a higher-order attribute variable (enumerates "
+              "attributes)");
     } else if (!cur_class.empty()) {
       auto dim = CstDimensionOf(cur_class);
       Result<const AttributeDef*> attr =
@@ -79,20 +122,26 @@ Result<std::string> Analyzer::AnalyzePath(const ast::PathExpr& path,
         if (dim.has_value() || cur_class == kCstClass) {
           // CST oids may carry extra instance-of classes with attributes;
           // not statically resolvable.
-          report->warnings.push_back("attribute '" + step.attribute +
-                                     "' on a CST value in path " +
-                                     path.ToString() +
-                                     " cannot be checked statically");
+          EmitWarning(report, DiagCode::kDynamicCstAttribute,
+                      {step.offset, step.attribute.size()},
+                      "attribute '" + step.attribute +
+                          "' on a CST value in path " + path.ToString() +
+                          " cannot be checked statically");
         } else {
-          return Status::TypeError("class '" + cur_class +
-                                   "' has no attribute '" + step.attribute +
-                                   "' (in path " + path.ToString() + ")");
+          return EmitError(report, DiagCode::kUnknownAttribute,
+                           {step.offset, step.attribute.size()},
+                           "class '" + cur_class + "' has no attribute '" +
+                               step.attribute + "' (in path " +
+                               path.ToString() + ")");
         }
       } else {
         next_known = true;
-        next_class = (*attr)->IsCst()
-                         ? CstClassName((*attr)->variables.size())
-                         : (*attr)->target_class;
+        if ((*attr)->IsCst()) {
+          next_class = CstClassName((*attr)->variables.size());
+          cst_attr = *attr;
+        } else {
+          next_class = (*attr)->target_class;
+        }
       }
     }
     // Selector handling.
@@ -102,236 +151,309 @@ Result<std::string> Analyzer::AnalyzePath(const ast::PathExpr& path,
       const std::string& var = step.selector->name;
       if (!scope->IsBound(var)) {
         if (!binding_allowed) {
-          return Status::TypeError(
-              "variable '" + var + "' cannot be bound inside this context (" +
-              path.ToString() + ")");
+          return EmitError(
+              report, DiagCode::kUseBeforeBind,
+              {step.selector->offset, var.size()},
+              "variable '" + var +
+                  "' cannot be bound inside this context (" +
+                  path.ToString() + ")");
         }
         scope->Bind(var, next_known ? next_class : "");
+        if (cst_attr != nullptr) {
+          report->var_dims[var] = cst_attr->variables;
+        }
       } else if (next_known && !scope->bound.at(var).empty()) {
         const std::string& have = scope->bound.at(var);
         if (have != next_class &&
             !db_->schema().IsSubclass(have, next_class) &&
             !db_->schema().IsSubclass(next_class, have)) {
-          return Status::TypeError(
-              "variable '" + var + "' is used both as '" + have +
-              "' and as '" + next_class + "' (in path " + path.ToString() +
-              ")");
+          return EmitError(report, DiagCode::kClassConflict,
+                           {step.selector->offset, var.size()},
+                           "variable '" + var + "' is used both as '" +
+                               have + "' and as '" + next_class +
+                               "' (in path " + path.ToString() + ")");
         }
       }
     }
     cur_class = next_known ? next_class : "";
   }
-  return cur_class;
+  *tail_class = cur_class;
+  return true;
 }
 
-Status Analyzer::AnalyzeArith(const ast::ArithExpr& expr, const Scope& scope,
-                              AnalysisReport* report) const {
+bool Analyzer::CheckArith(const ast::ArithExpr& expr, const Scope& scope,
+                          AnalysisReport* report) const {
   using Kind = ast::ArithExpr::Kind;
   switch (expr.kind) {
     case Kind::kConst:
-      return Status::OK();
+      return true;
     case Kind::kName:
       if (scope.declared.count(expr.name) && !scope.IsBound(expr.name)) {
-        return Status::TypeError("query variable '" + expr.name +
-                                 "' is used in a formula before it is "
-                                 "bound");
+        return EmitError(report, DiagCode::kUseBeforeBind,
+                         {expr.offset, expr.name.size()},
+                         "query variable '" + expr.name +
+                             "' is used in a formula before it is bound");
       }
       if (scope.IsBound(expr.name)) {
         const std::string& cls = scope.bound.at(expr.name);
         if (!cls.empty() && cls != kIntClass && cls != kRealClass) {
-          return Status::TypeError(
+          return EmitError(
+              report, DiagCode::kNotNumeric, {expr.offset, expr.name.size()},
               "query variable '" + expr.name + "' of class '" + cls +
-              "' is used as a number in a formula");
+                  "' is used as a number in a formula");
         }
       }
-      return Status::OK();
+      return true;
     case Kind::kPath: {
       Scope copy = scope;  // Paths in arithmetic never bind.
-      LYRIC_ASSIGN_OR_RETURN(std::string cls,
-                             AnalyzePath(*expr.path, &copy, report,
-                                         /*binding_allowed=*/false));
-      if (!cls.empty() && cls != kIntClass && cls != kRealClass) {
-        return Status::TypeError("path " + expr.path->ToString() +
-                                 " of class '" + cls +
-                                 "' is used as a number in a formula");
+      std::string cls;
+      if (!CheckPath(*expr.path, &copy, report, /*binding_allowed=*/false,
+                     &cls)) {
+        return false;
       }
-      return Status::OK();
+      if (!cls.empty() && cls != kIntClass && cls != kRealClass) {
+        return EmitError(report, DiagCode::kNotNumeric, {expr.offset, 1},
+                         "path " + expr.path->ToString() + " of class '" +
+                             cls + "' is used as a number in a formula");
+      }
+      return true;
     }
     case Kind::kNeg:
-      return AnalyzeArith(*expr.lhs, scope, report);
+      return CheckArith(*expr.lhs, scope, report);
     default:
-      LYRIC_RETURN_NOT_OK(AnalyzeArith(*expr.lhs, scope, report));
-      return AnalyzeArith(*expr.rhs, scope, report);
+      return CheckArith(*expr.lhs, scope, report) &&
+             CheckArith(*expr.rhs, scope, report);
   }
 }
 
-Status Analyzer::AnalyzeFormula(const ast::Formula& formula,
-                                const Scope& scope,
-                                AnalysisReport* report) const {
+bool Analyzer::CheckFormula(const ast::Formula& formula, const Scope& scope,
+                            AnalysisReport* report) const {
   using Kind = ast::Formula::Kind;
   switch (formula.kind) {
     case Kind::kTrue:
     case Kind::kFalse:
-      return Status::OK();
+      return true;
     case Kind::kAtom:
-      LYRIC_RETURN_NOT_OK(AnalyzeArith(*formula.atom_lhs, scope, report));
-      return AnalyzeArith(*formula.atom_rhs, scope, report);
+      return CheckArith(*formula.atom_lhs, scope, report) &&
+             CheckArith(*formula.atom_rhs, scope, report);
     case Kind::kAnd:
     case Kind::kOr:
     case Kind::kNot:
       for (const auto& child : formula.children) {
-        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*child, scope, report));
+        if (!CheckFormula(*child, scope, report)) return false;
       }
-      return Status::OK();
+      return true;
     case Kind::kProject:
     case Kind::kExists:
-      return AnalyzeFormula(*formula.children[0], scope, report);
+      return CheckFormula(*formula.children[0], scope, report);
     case Kind::kPred: {
       Scope copy = scope;
-      LYRIC_ASSIGN_OR_RETURN(std::string cls,
-                             AnalyzePath(*formula.pred, &copy, report,
-                                         /*binding_allowed=*/false));
+      std::string cls;
+      if (!CheckPath(*formula.pred, &copy, report,
+                     /*binding_allowed=*/false, &cls)) {
+        return false;
+      }
       auto dim = CstDimensionOf(cls);
       if (!cls.empty() && !dim.has_value() && cls != kCstClass &&
           !db_->schema().IsSubclass(cls, kCstClass)) {
-        return Status::TypeError("predicate " + formula.pred->ToString() +
-                                 " has class '" + cls +
-                                 "', which is not a CST class");
+        return EmitError(report, DiagCode::kNotCstPredicate,
+                         {formula.pred->offset, 1},
+                         "predicate " + formula.pred->ToString() +
+                             " has class '" + cls +
+                             "', which is not a CST class");
       }
       if (dim.has_value() && formula.pred_args.has_value() &&
           formula.pred_args->size() != *dim) {
-        return Status::TypeError(
+        return EmitError(
+            report, DiagCode::kArityMismatch, {formula.pred->offset, 1},
             "predicate " + formula.pred->ToString() + " has dimension " +
-            std::to_string(*dim) + " but is invoked with " +
-            std::to_string(formula.pred_args->size()) + " variables");
+                std::to_string(*dim) + " but is invoked with " +
+                std::to_string(formula.pred_args->size()) + " variables");
       }
-      return Status::OK();
+      return true;
     }
   }
-  return Status::Internal("bad formula node");
+  return EmitError(report, DiagCode::kBadSelectFormula,
+                   {formula.offset, 1}, "bad formula node");
 }
 
-Status Analyzer::AnalyzeWhere(const ast::WhereExpr& where, Scope* scope,
-                              AnalysisReport* report) const {
+bool Analyzer::CheckWhere(const ast::WhereExpr& where, Scope* scope,
+                          AnalysisReport* report) const {
   using Kind = ast::WhereExpr::Kind;
   switch (where.kind) {
     case Kind::kAnd:
       for (const auto& child : where.children) {
-        LYRIC_RETURN_NOT_OK(AnalyzeWhere(*child, scope, report));
+        if (!CheckWhere(*child, scope, report)) return false;
       }
-      return Status::OK();
+      return true;
     case Kind::kOr: {
       // Bindings inside OR branches do not escape (a row may satisfy only
       // one branch).
+      bool ok = true;
       for (const auto& child : where.children) {
         Scope branch = *scope;
-        LYRIC_RETURN_NOT_OK(AnalyzeWhere(*child, &branch, report));
+        ok = CheckWhere(*child, &branch, report) && ok;
       }
-      return Status::OK();
+      return ok;
     }
     case Kind::kNot: {
       Scope inner = *scope;
-      return AnalyzeWhere(*where.children[0], &inner, report);
+      return CheckWhere(*where.children[0], &inner, report);
     }
-    case Kind::kPathPred:
-      return AnalyzePath(where.path, scope, report, /*binding_allowed=*/true)
-          .status();
+    case Kind::kPathPred: {
+      std::string cls;
+      return CheckPath(where.path, scope, report, /*binding_allowed=*/true,
+                       &cls);
+    }
     case Kind::kCompare: {
       for (const ast::WhereExpr::Operand* op :
            {&where.cmp_lhs, &where.cmp_rhs}) {
         if (op->kind == ast::WhereExpr::Operand::Kind::kPath) {
-          LYRIC_RETURN_NOT_OK(
-              AnalyzePath(op->path, scope, report, /*binding_allowed=*/true)
-                  .status());
+          std::string cls;
+          if (!CheckPath(op->path, scope, report, /*binding_allowed=*/true,
+                         &cls)) {
+            return false;
+          }
         }
       }
-      return Status::OK();
+      return true;
     }
     case Kind::kFormulaSat:
-      return AnalyzeFormula(*where.formula, *scope, report);
+      return CheckFormula(*where.formula, *scope, report);
     case Kind::kEntails:
-      LYRIC_RETURN_NOT_OK(AnalyzeFormula(*where.ent_lhs, *scope, report));
-      return AnalyzeFormula(*where.ent_rhs, *scope, report);
+      return CheckFormula(*where.ent_lhs, *scope, report) &&
+             CheckFormula(*where.ent_rhs, *scope, report);
   }
-  return Status::Internal("bad WHERE node");
+  return false;
 }
 
-Result<AnalysisReport> Analyzer::Analyze(const ast::Query& query) const {
+AnalysisReport Analyzer::Check(const ast::Query& query) const {
   AnalysisReport report;
   Scope scope;
   scope.declared = CollectDeclaredVars(query, *db_);
 
-  // FROM.
+  // FROM: report every unknown class, not just the first.
   for (const ast::FromItem& item : query.from) {
     if (!db_->schema().HasClass(item.class_name)) {
-      return Status::NotFound("FROM: unknown class '" + item.class_name +
-                              "'");
+      EmitError(&report, DiagCode::kUnknownClass,
+                {item.class_offset, item.class_name.size()},
+                "FROM: unknown class '" + item.class_name + "'");
+      continue;
     }
     if (scope.IsBound(item.var)) {
-      report.warnings.push_back(
-          "FROM variable '" + item.var +
-          "' is declared twice (instances must agree)");
+      EmitWarning(&report, DiagCode::kDuplicateFromVar,
+                  {item.var_offset, item.var.size()},
+                  "FROM variable '" + item.var +
+                      "' is declared twice (instances must agree)");
     }
     scope.Bind(item.var, item.class_name);
   }
   // View header.
   if (query.is_view) {
     if (!db_->schema().HasClass(query.view_parent)) {
-      return Status::NotFound("view parent class '" + query.view_parent +
-                              "' does not exist");
+      EmitError(&report, DiagCode::kUnknownViewParent,
+                {query.view_parent_offset, query.view_parent.size()},
+                "view parent class '" + query.view_parent +
+                    "' does not exist");
     }
     for (const ast::SignatureItem& sig : query.signature) {
       if (!db_->schema().HasClass(sig.target_class)) {
-        return Status::NotFound("signature target class '" +
-                                sig.target_class + "' does not exist");
+        EmitError(&report, DiagCode::kUnknownSigTarget,
+                  {sig.target_offset, sig.target_class.size()},
+                  "signature target class '" + sig.target_class +
+                      "' does not exist");
       }
     }
     if (!scope.declared.count(query.view_name) &&
         db_->schema().HasClass(query.view_name)) {
-      return Status::AlreadyExists("view class '" + query.view_name +
-                                   "' already exists");
+      EmitError(&report, DiagCode::kViewExists,
+                {query.view_name_offset, query.view_name.size()},
+                "view class '" + query.view_name + "' already exists");
     }
   }
-  // WHERE (binds bracket variables in conjunct order).
+  // WHERE (binds bracket variables in conjunct order). The walk stops at
+  // the first error inside the tree — bindings are unreliable past it —
+  // but later clauses still get checked.
   if (query.where) {
-    LYRIC_RETURN_NOT_OK(AnalyzeWhere(*query.where, &scope, &report));
+    CheckWhere(*query.where, &scope, &report);
   }
-  // SELECT items see the post-WHERE scope.
+  // SELECT items see the post-WHERE scope; each item checks
+  // independently so one broken column does not hide the next.
   for (const ast::SelectItem& item : query.select) {
     switch (item.kind) {
       case ast::SelectItem::Kind::kPath: {
         Scope copy = scope;
-        LYRIC_RETURN_NOT_OK(AnalyzePath(item.path, &copy, &report,
-                                        /*binding_allowed=*/false)
-                                .status());
+        std::string cls;
+        CheckPath(item.path, &copy, &report, /*binding_allowed=*/false,
+                  &cls);
         break;
       }
       case ast::SelectItem::Kind::kFormulaObject:
         if (item.formula->kind != ast::Formula::Kind::kProject) {
-          return Status::TypeError(
-              "SELECT constraint item must be a projection "
-              "((x1,..,xn) | phi)");
+          EmitError(&report, DiagCode::kBadSelectFormula, {item.offset, 1},
+                    "SELECT constraint item must be a projection "
+                    "((x1,..,xn) | phi)");
+          break;
         }
-        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*item.formula, scope, &report));
+        CheckFormula(*item.formula, scope, &report);
         break;
       case ast::SelectItem::Kind::kOptimize:
-        LYRIC_RETURN_NOT_OK(AnalyzeArith(*item.objective, scope, &report));
-        LYRIC_RETURN_NOT_OK(AnalyzeFormula(*item.formula, scope, &report));
+        if (CheckArith(*item.objective, scope, &report)) {
+          CheckFormula(*item.formula, scope, &report);
+        }
         break;
     }
   }
   // OID FUNCTION OF variables must be bound.
-  for (const std::string& var : query.oid_function_of) {
+  for (size_t i = 0; i < query.oid_function_of.size(); ++i) {
+    const std::string& var = query.oid_function_of[i];
     if (!scope.IsBound(var)) {
-      return Status::TypeError("OID FUNCTION OF: variable '" + var +
-                               "' is never bound");
+      size_t offset = i < query.oid_function_of_offsets.size()
+                          ? query.oid_function_of_offsets[i]
+                          : 0;
+      EmitError(&report, DiagCode::kUnboundOidVar, {offset, var.size()},
+                "OID FUNCTION OF: variable '" + var + "' is never bound");
     }
   }
-  report.var_classes.clear();
   for (const auto& [var, cls] : scope.bound) {
     if (!cls.empty()) report.var_classes.emplace(var, cls);
   }
+  // §3 family pass: only meaningful when the query is well-typed.
+  if (!report.has_errors()) {
+    FamilyChecker families(db_, &scope.declared, &report.var_dims);
+    families.CheckQuery(query, &report.diagnostics);
+  }
   return report;
+}
+
+Result<AnalysisReport> Analyzer::Analyze(const ast::Query& query) const {
+  AnalysisReport report = Check(query);
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (diag.severity == Severity::kError) {
+      return Status(DiagCodeToStatusCode(diag.code), diag.message);
+    }
+  }
+  return report;
+}
+
+CheckResult CheckQueryText(const Database& db, const std::string& text) {
+  CheckResult out;
+  Diagnostic parse_diag;
+  Result<ast::Query> query = ParseQuery(text, &parse_diag);
+  if (!query.ok()) {
+    out.diagnostics.push_back(std::move(parse_diag));
+    return out;
+  }
+  out.parsed = true;
+  Analyzer analyzer(&db);
+  AnalysisReport report = analyzer.Check(*query);
+  out.diagnostics = std::move(report.diagnostics);
+  out.var_classes = std::move(report.var_classes);
+  std::stable_sort(out.diagnostics.begin(), out.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.span.offset < b.span.offset;
+                   });
+  return out;
 }
 
 }  // namespace lyric

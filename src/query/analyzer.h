@@ -13,11 +13,15 @@
 //   * CST predicate invocations have the right arity when the dimension
 //     is statically known;
 //   * view headers reference existing parent classes and signature
-//     targets.
+//     targets;
+//   * every CST-valued expression in SELECT/WHERE is tagged with its
+//     inferred §3 constraint family, with warnings when an operation
+//     leaves the polynomial fragment (see family_check.h).
 //
-// Hard violations return a Status; softer findings (higher-order
-// attribute variables, unknown symbolic oids, comparisons whose kinds
-// cannot be checked statically) are collected as warnings.
+// Every finding is a structured Diagnostic with a stable LY0xx code and
+// a source span (see diagnostics.h). Check() never fails — it collects
+// all findings, continuing past errors clause by clause. Analyze() is
+// the legacy strict form: the first error diagnostic becomes a Status.
 
 #ifndef LYRIC_QUERY_ANALYZER_H_
 #define LYRIC_QUERY_ANALYZER_H_
@@ -29,16 +33,25 @@
 
 #include "object/database.h"
 #include "query/ast.h"
+#include "query/diagnostics.h"
 
 namespace lyric {
 
-/// Result of a successful analysis.
+/// Result of an analysis pass.
 struct AnalysisReport {
   /// Variable -> statically inferred class name (object class, "CST(n)",
   /// or a primitive); only variables with a determinable class appear.
   std::map<std::string, std::string> var_classes;
-  /// Non-fatal findings, human-readable.
+  /// Non-fatal findings, human-readable (mirrors the warning/note
+  /// diagnostics for callers predating structured diagnostics).
   std::vector<std::string> warnings;
+  /// Every finding, structured: errors, warnings, and family notes.
+  std::vector<Diagnostic> diagnostics;
+  /// For variables bound via a bracket selector at a CST attribute: the
+  /// schema dimension names (e.g. E -> {w, z} for extent : CST(w, z)).
+  std::map<std::string, std::vector<std::string>> var_dims;
+
+  bool has_errors() const { return HasErrors(diagnostics); }
 };
 
 /// Stateless semantic analyzer over a database's schema.
@@ -46,26 +59,50 @@ class Analyzer {
  public:
   explicit Analyzer(const Database* db) : db_(db) {}
 
-  /// Validates `query`; returns the report or the first hard violation.
+  /// Validates `query`, collecting every finding as a Diagnostic. Never
+  /// fails: errors are reported and the walk continues with the next
+  /// independent clause. When no errors are found, the §3 family pass
+  /// runs and appends its LY040-LY045 findings.
+  AnalysisReport Check(const ast::Query& query) const;
+
+  /// Strict form: returns the report, or converts the first error
+  /// diagnostic into a Status (unknown classes map to NotFound, view
+  /// redefinition to AlreadyExists, the rest to TypeError).
   Result<AnalysisReport> Analyze(const ast::Query& query) const;
 
  private:
   struct Scope;
 
-  Status AnalyzeWhere(const ast::WhereExpr& where, Scope* scope,
-                      AnalysisReport* report) const;
-  // Checks a path, binding selector variables in `scope`; returns the
-  // statically known class of the tail ("" when undeterminable).
-  Result<std::string> AnalyzePath(const ast::PathExpr& path, Scope* scope,
-                                  AnalysisReport* report,
-                                  bool binding_allowed) const;
-  Status AnalyzeFormula(const ast::Formula& formula, const Scope& scope,
-                        AnalysisReport* report) const;
-  Status AnalyzeArith(const ast::ArithExpr& expr, const Scope& scope,
-                      AnalysisReport* report) const;
+  // Each Check* emits diagnostics into the report and returns false when
+  // it hit an error severe enough to stop the enclosing clause walk.
+  bool CheckWhere(const ast::WhereExpr& where, Scope* scope,
+                  AnalysisReport* report) const;
+  // Checks a path, binding selector variables in `scope`; on success
+  // stores the statically known class of the tail into `tail_class`
+  // ("" when undeterminable).
+  bool CheckPath(const ast::PathExpr& path, Scope* scope,
+                 AnalysisReport* report, bool binding_allowed,
+                 std::string* tail_class) const;
+  bool CheckFormula(const ast::Formula& formula, const Scope& scope,
+                    AnalysisReport* report) const;
+  bool CheckArith(const ast::ArithExpr& expr, const Scope& scope,
+                  AnalysisReport* report) const;
 
   const Database* db_;
 };
+
+/// The status code the strict Analyze() maps an error diagnostic to.
+StatusCode DiagCodeToStatusCode(DiagCode code);
+
+/// One-call front end for the lint tools: parses `text` and, when it
+/// parses, runs Check(). Parse failures surface as a single LY001/LY002
+/// diagnostic. Diagnostics come back sorted by source offset.
+struct CheckResult {
+  bool parsed = false;
+  std::vector<Diagnostic> diagnostics;
+  std::map<std::string, std::string> var_classes;
+};
+CheckResult CheckQueryText(const Database& db, const std::string& text);
 
 }  // namespace lyric
 

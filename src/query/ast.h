@@ -18,6 +18,7 @@
 #ifndef LYRIC_QUERY_AST_H_
 #define LYRIC_QUERY_AST_H_
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,7 @@ struct NameOrLiteral {
   Kind kind = Kind::kName;
   std::string name;
   Oid literal;
+  size_t offset = 0;  // Byte offset of the token in the query text.
 
   static NameOrLiteral Name(std::string n) {
     NameOrLiteral out;
@@ -59,8 +61,10 @@ struct PathExpr {
   struct Step {
     std::string attribute;  // Attribute name or attribute variable.
     std::optional<NameOrLiteral> selector;
+    size_t offset = 0;  // Byte offset of the attribute token.
   };
   std::vector<Step> steps;
+  size_t offset = 0;  // Byte offset of the head token.
 
   std::string ToString() const;
 };
@@ -76,6 +80,7 @@ struct ArithExpr {
   std::unique_ptr<PathExpr> path;    // kPath
   std::unique_ptr<ArithExpr> lhs;
   std::unique_ptr<ArithExpr> rhs;    // Unused for kNeg.
+  size_t offset = 0;  // Byte offset of the expression's first token.
 
   std::string ToString() const;
 };
@@ -107,6 +112,8 @@ struct Formula {
   // kProject: ((proj_vars) | children[0]); kExists: the bound variables.
   std::vector<std::string> proj_vars;
 
+  size_t offset = 0;  // Byte offset of the formula's first token.
+
   std::string ToString() const;
 };
 
@@ -125,12 +132,16 @@ struct SelectItem {
   enum class OptKind { kMax, kMin, kMaxPoint, kMinPoint };
   OptKind opt = OptKind::kMax;
   std::unique_ptr<ArithExpr> objective;  // Formula in `formula`.
+
+  size_t offset = 0;  // Byte offset of the item's first token.
 };
 
 /// FROM Class Var.
 struct FromItem {
   std::string class_name;
   std::string var;
+  size_t class_offset = 0;  // Byte offset of the class-name token.
+  size_t var_offset = 0;    // Byte offset of the variable token.
 };
 
 /// WHERE condition tree.
@@ -158,6 +169,8 @@ struct WhereExpr {
   std::unique_ptr<Formula> formula;   // kFormulaSat.
   std::unique_ptr<Formula> ent_lhs;   // kEntails.
   std::unique_ptr<Formula> ent_rhs;
+
+  size_t offset = 0;  // Byte offset of the condition's first token.
 };
 
 /// SIGNATURE attr => Class (scalar) / attr =>> Class (set-valued).
@@ -165,6 +178,7 @@ struct SignatureItem {
   std::string attr;
   bool set_valued = false;
   std::string target_class;
+  size_t target_offset = 0;  // Byte offset of the target-class token.
 };
 
 /// A full query (optionally a view definition).
@@ -173,11 +187,14 @@ struct Query {
   std::vector<FromItem> from;
   std::unique_ptr<WhereExpr> where;          // May be null.
   std::vector<std::string> oid_function_of;  // Empty = plain result.
+  std::vector<size_t> oid_function_of_offsets;  // Parallel byte offsets.
 
   bool is_view = false;
   std::string view_name;    // May be a query variable (higher-order view).
   std::string view_parent;  // SUBCLASS OF.
   std::vector<SignatureItem> signature;
+  size_t view_name_offset = 0;    // Byte offset of the view-name token.
+  size_t view_parent_offset = 0;  // Byte offset of the parent token.
 };
 
 }  // namespace ast

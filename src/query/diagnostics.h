@@ -1,0 +1,139 @@
+// Structured query diagnostics: stable codes, severities, and source
+// spans for every finding the static analysis layer produces.
+//
+// Every diagnostic carries an `LY0xx` code (inventoried in
+// docs/DIAGNOSTICS.md), a severity, and a byte-offset span into the query
+// text. Rendering maps offsets to 1-based line:col positions and prints
+// caret snippets:
+//
+//   query.lyric:3:21: error[LY011]: class 'Desk' has no attribute
+//   'location'
+//     SELECT X FROM Desk X WHERE X.location[L]
+//                                  ^~~~~~~~
+//
+// The codes are grouped by decade:
+//   LY001..LY009  lexical / syntax errors
+//   LY010..LY029  schema / typing errors (§2.2 discipline)
+//   LY030..LY039  portability warnings (dynamic features the analyzer
+//                 cannot check statically)
+//   LY040..LY049  §3 constraint-family / complexity findings
+
+#ifndef LYRIC_QUERY_DIAGNOSTICS_H_
+#define LYRIC_QUERY_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lyric {
+
+/// How severe a finding is. Errors abort evaluation in pre-flight mode
+/// and fail `lyric_check`; warnings and notes are informational.
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// Stable diagnostic codes. The numeric value is part of the public
+/// contract (tests and tooling match on the rendered "LY0xx" string);
+/// never renumber, only append.
+enum class DiagCode {
+  // Lexical / syntax.
+  kLexError = 1,            // LY001
+  kSyntaxError = 2,         // LY002
+  // Schema / typing errors.
+  kUnknownClass = 10,       // LY010: FROM or view header names no class.
+  kUnknownAttribute = 11,   // LY011: attribute missing on a known class.
+  kUseBeforeBind = 12,      // LY012: variable read before it is bound.
+  kClassConflict = 13,      // LY013: one variable, two incompatible classes.
+  kNotNumeric = 14,         // LY014: non-number used in arithmetic.
+  kNotCstPredicate = 15,    // LY015: predicate use of a non-CST value.
+  kArityMismatch = 16,      // LY016: predicate invoked with wrong dimension.
+  kUnboundOidVar = 17,      // LY017: OID FUNCTION OF variable never bound.
+  kUnknownViewParent = 18,  // LY018: SUBCLASS OF names no class.
+  kUnknownSigTarget = 19,   // LY019: signature target names no class.
+  kViewExists = 20,         // LY020: view name collides with a class.
+  kBadSelectFormula = 21,   // LY021: SELECT formula is not a projection.
+  // Portability warnings.
+  kUnknownSymbolicOid = 30,  // LY030: g-selector names no stored object.
+  kAttributeVariable = 31,   // LY031: higher-order attribute variable.
+  kDuplicateFromVar = 32,    // LY032: FROM variable declared twice.
+  kDynamicCstAttribute = 33, // LY033: attribute on a CST value, unchecked.
+  // §3 constraint-family / complexity findings.
+  kFamilyInfo = 40,          // LY040: inferred family of a CST expression.
+  kUnrestrictedProjection = 41,  // LY041: QE outside the §3.1 fragment.
+  kDisjunctiveEntailment = 42,   // LY042: |= with a disjunctive operand.
+  kDnfBlowup = 43,               // LY043: DNF distribution estimate large.
+  kNonConjunctiveNegation = 44,  // LY044: NOT of a non-conjunctive formula.
+  kDisjunctiveOptimize = 45,     // LY045: MAX/MIN over a disjunctive body.
+};
+
+/// "LY011" etc.; stable across releases.
+std::string DiagCodeToString(DiagCode code);
+
+/// The severity a code carries by default (family notes are kNote, the
+/// LY03x/LY04x groups are kWarning, everything else kError).
+Severity DiagCodeDefaultSeverity(DiagCode code);
+
+/// One-line description of what the code means (used by docs and
+/// `lyric_check --codes`).
+const char* DiagCodeTitle(DiagCode code);
+
+/// Half-open byte range [offset, offset + length) in the query text.
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 1;
+};
+
+/// One finding of the static analysis layer.
+struct Diagnostic {
+  DiagCode code = DiagCode::kSyntaxError;
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceSpan span;
+
+  /// "error[LY012]: message" (no source context).
+  std::string ToString() const;
+};
+
+/// Constructs a diagnostic with the code's default severity.
+Diagnostic MakeDiag(DiagCode code, SourceSpan span, std::string message);
+
+/// 1-based line and column of a byte offset in `text`.
+struct LineCol {
+  size_t line = 1;
+  size_t col = 1;
+};
+LineCol LineColAt(const std::string& text, size_t offset);
+
+/// Renders one diagnostic against its source: position line plus a caret
+/// snippet underlining the span. `filename` prefixes the position when
+/// non-empty.
+std::string RenderDiagnostic(const std::string& source,
+                             const Diagnostic& diag,
+                             const std::string& filename = "");
+
+/// Renders a batch in order.
+std::string RenderDiagnostics(const std::string& source,
+                              const std::vector<Diagnostic>& diags,
+                              const std::string& filename = "");
+
+/// Machine-readable rendering for `lyric_check --format=json`: a JSON
+/// array of {file, line, col, offset, length, code, severity, message}.
+std::string DiagnosticsToJson(const std::string& source,
+                              const std::vector<Diagnostic>& diags,
+                              const std::string& filename = "");
+
+/// True when any diagnostic is an error.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Counts by severity.
+size_t CountSeverity(const std::vector<Diagnostic>& diags,
+                     Severity severity);
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_DIAGNOSTICS_H_

@@ -490,10 +490,19 @@ Status Evaluator::MaterializeView(const ast::Query& query,
 Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   LYRIC_OBS_COUNT("evaluator.queries");
   created_classes_.clear();
+  // Pre-flight: collect the full diagnostic set; any error aborts before
+  // data is touched, warnings and §3 family notes ride on the ResultSet.
+  std::vector<Diagnostic> preflight;
   if (options_.analyze_first) {
     obs::Span span("analyze");
     Analyzer analyzer(db_);
-    LYRIC_RETURN_NOT_OK(analyzer.Analyze(query).status());
+    AnalysisReport report = analyzer.Check(query);
+    for (const Diagnostic& diag : report.diagnostics) {
+      if (diag.severity == Severity::kError) {
+        return Status(DiagCodeToStatusCode(diag.code), diag.message);
+      }
+    }
+    preflight = std::move(report.diagnostics);
   }
   std::set<std::string> declared = CollectDeclaredVars(query, *db_);
 
@@ -511,6 +520,7 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
     }
   }
   ResultSet out(std::move(columns));
+  out.set_diagnostics(std::move(preflight));
 
   std::vector<Binding> bindings;
   {

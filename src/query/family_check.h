@@ -1,0 +1,107 @@
+// §3 constraint-family inference and complexity checking over query ASTs.
+//
+// The paper engineers four constraint families (conjunctive, existential
+// conjunctive, disjunctive, disjunctive existential) so that every
+// permitted operation stays polynomial, and §3.1 warns that unrestricted
+// quantifier elimination blows up. This pass tags every CST-valued
+// expression in SELECT/WHERE with its inferred family (LY040 notes) and
+// checks closure under the operations the query applies:
+//
+//   * projection / exists eliminating more than one variable while
+//     keeping more than one leaves the restricted fragment — the family
+//     escalates to an existential one, and eager materialization runs
+//     unrestricted quantifier elimination (LY041);
+//   * entailment whose right-hand side carries disjunction falls outside
+//     the polynomial entailment checks of §3 (LY042);
+//   * conjunctions of disjunctive operands distribute into DNF; when the
+//     estimated disjunct product crosses a threshold, LY043 fires;
+//   * NOT of a non-conjunctive formula has no representation inside the
+//     four families (CstObject::Negate only accepts conjunctive) — LY044;
+//   * MAX/MIN over a disjunctive body solves one LP per disjunct (LY045).
+//
+// The pass is purely syntactic plus schema lookups: predicate uses whose
+// stored family cannot be resolved statically are assumed conjunctive
+// (the canonical storage family) and the LY040 note says so.
+
+#ifndef LYRIC_QUERY_FAMILY_CHECK_H_
+#define LYRIC_QUERY_FAMILY_CHECK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraint/family.h"
+#include "object/database.h"
+#include "query/ast.h"
+#include "query/diagnostics.h"
+
+namespace lyric {
+
+/// The inferred §3 family of one formula, with a saturating estimate of
+/// its DNF disjunct count.
+struct FamilyEstimate {
+  ConstraintFamily family = ConstraintFamily::kConjunctive;
+  size_t disjuncts = 1;      // Estimated DNF disjunct count (saturating).
+  bool assumed_preds = false;  // True when some predicate family was
+                               // assumed rather than resolved.
+};
+
+/// Estimated disjunct count at which LY043 (DNF distribution blowup)
+/// fires for a conjunction of disjunctive operands.
+inline constexpr size_t kDnfBlowupThreshold = 64;
+
+/// Saturation cap for disjunct estimates.
+inline constexpr size_t kDisjunctEstimateCap = 1 << 20;
+
+/// Infers families and emits LY040-LY045 findings.
+class FamilyChecker {
+ public:
+  /// `declared` is the set of query-variable names (everything else in an
+  /// atom is a constraint variable); `var_dims` maps CST-bound query
+  /// variables to their schema dimension names when statically known.
+  FamilyChecker(const Database* db, const std::set<std::string>* declared,
+                const std::map<std::string, std::vector<std::string>>*
+                    var_dims)
+      : db_(db), declared_(declared), var_dims_(var_dims) {}
+
+  /// Infers the family of `formula` bottom-up, appending closure warnings
+  /// (LY041/LY043/LY044) to `diags`.
+  FamilyEstimate Infer(const ast::Formula& formula,
+                       std::vector<Diagnostic>* diags) const;
+
+  /// Runs the whole-query pass: one LY040 note per CST-valued expression
+  /// in SELECT and WHERE, plus the closure findings their operations
+  /// trigger (LY041-LY045).
+  void CheckQuery(const ast::Query& query,
+                  std::vector<Diagnostic>* diags) const;
+
+  /// The constraint variables a formula mentions free (query variables
+  /// excluded; predicate interfaces resolved through `var_dims` and the
+  /// schema where possible).
+  std::set<std::string> FreeConstraintVars(const ast::Formula& formula)
+      const;
+
+ private:
+  void CheckWhere(const ast::WhereExpr& where,
+                  std::vector<Diagnostic>* diags) const;
+  void NoteFamily(const ast::Formula& formula, const std::string& context,
+                  const FamilyEstimate& est,
+                  std::vector<Diagnostic>* diags) const;
+  // Resolves the family of a predicate use when the named CST object is
+  // statically reachable (a stored symbolic oid, possibly through
+  // scalar attribute steps); null result means "assume conjunctive".
+  bool ResolvePredFamily(const ast::PathExpr& pred,
+                         FamilyEstimate* out) const;
+  // The interface variable names a predicate use contributes.
+  void PredInterfaceVars(const ast::Formula& pred,
+                         std::set<std::string>* out) const;
+
+  const Database* db_;
+  const std::set<std::string>* declared_;
+  const std::map<std::string, std::vector<std::string>>* var_dims_;
+};
+
+}  // namespace lyric
+
+#endif  // LYRIC_QUERY_FAMILY_CHECK_H_

@@ -101,6 +101,11 @@ const std::map<std::string, TokenKind>& Keywords() {
 }  // namespace
 
 Result<std::vector<Token>> Lex(const std::string& text) {
+  return Lex(text, nullptr);
+}
+
+Result<std::vector<Token>> Lex(const std::string& text,
+                               size_t* error_offset) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = text.size();
@@ -182,6 +187,7 @@ Result<std::vector<Token>> Lex(const std::string& text) {
         ++j;
       }
       if (!closed) {
+        if (error_offset != nullptr) *error_offset = start;
         return Status::ParseError("unterminated string literal at offset " +
                                   std::to_string(start));
       }
@@ -226,6 +232,7 @@ Result<std::vector<Token>> Lex(const std::string& text) {
       case '/': push(TokenKind::kSlash, start); break;
       case ';': push(TokenKind::kSemicolon, start); break;
       default:
+        if (error_offset != nullptr) *error_offset = start;
         return Status::ParseError(std::string("unexpected character '") + c +
                                   "' at offset " + std::to_string(start));
     }

@@ -37,7 +37,9 @@ class Parser {
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kFrom));
     for (;;) {
       FromItem item;
+      item.class_offset = Cur().offset;
       LYRIC_ASSIGN_OR_RETURN(item.class_name, ParseClassName());
+      item.var_offset = Cur().offset;
       LYRIC_ASSIGN_OR_RETURN(item.var, ExpectIdent());
       q.from.push_back(std::move(item));
       if (!Accept(TokenKind::kComma)) break;
@@ -46,6 +48,7 @@ class Parser {
       LYRIC_RETURN_NOT_OK(Expect(TokenKind::kFunction));
       LYRIC_RETURN_NOT_OK(Expect(TokenKind::kOf));
       for (;;) {
+        q.oid_function_of_offsets.push_back(Cur().offset);
         LYRIC_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
         q.oid_function_of.push_back(std::move(var));
         if (!Accept(TokenKind::kComma)) break;
@@ -75,6 +78,11 @@ class Parser {
     return std::move(*f);
   }
 
+  // Position of the token the last reported error points at, for
+  // diagnostics with source spans.
+  size_t error_offset() const { return error_offset_; }
+  size_t error_length() const { return error_length_; }
+
  private:
   // --- token plumbing -----------------------------------------------------
 
@@ -87,6 +95,7 @@ class Parser {
   }
   Status Expect(TokenKind kind) {
     if (!Accept(kind)) {
+      RecordError();
       return Status::ParseError(std::string("expected ") +
                                 TokenKindToString(kind) + " but found '" +
                                 Describe(Cur()) + "' at offset " +
@@ -96,6 +105,7 @@ class Parser {
   }
   Result<std::string> ExpectIdent() {
     if (!At(TokenKind::kIdent)) {
+      RecordError();
       return Status::ParseError("expected identifier but found '" +
                                 Describe(Cur()) + "' at offset " +
                                 std::to_string(Cur().offset));
@@ -104,10 +114,20 @@ class Parser {
     ++pos_;
     return out;
   }
-  Status Err(const std::string& msg) const {
+  Status Err(const std::string& msg) {
+    RecordError();
     return Status::ParseError(msg + " at offset " +
                               std::to_string(Cur().offset) + " (near '" +
                               Describe(Cur()) + "')");
+  }
+  void RecordError() {
+    error_offset_ = Cur().offset;
+    if (Cur().kind == TokenKind::kEnd) {
+      error_length_ = 1;
+    } else {
+      std::string near = Describe(Cur());
+      error_length_ = near.empty() ? 1 : near.size();
+    }
   }
   static std::string Describe(const Token& t) {
     if (t.kind == TokenKind::kIdent || t.kind == TokenKind::kNumber ||
@@ -122,10 +142,12 @@ class Parser {
   Status ParseViewHeader(Query* q) {
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kCreate));
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kView));
+    q->view_name_offset = Cur().offset;
     LYRIC_ASSIGN_OR_RETURN(q->view_name, ExpectIdent());
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kAs));
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kSubclass));
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kOf));
+    q->view_parent_offset = Cur().offset;
     LYRIC_ASSIGN_OR_RETURN(q->view_parent, ParseClassName());
     q->is_view = true;
     return Status::OK();
@@ -140,6 +162,7 @@ class Parser {
       } else {
         LYRIC_RETURN_NOT_OK(Expect(TokenKind::kArrow));
       }
+      item.target_offset = Cur().offset;
       LYRIC_ASSIGN_OR_RETURN(item.target_class, ParseClassName());
       q->signature.push_back(std::move(item));
       if (!Accept(TokenKind::kComma)) break;
@@ -165,35 +188,46 @@ class Parser {
   }
 
   Result<NameOrLiteral> ParseSelector() {
+    size_t offset = Cur().offset;
+    auto with_offset = [offset](NameOrLiteral n) {
+      n.offset = offset;
+      return n;
+    };
     if (At(TokenKind::kIdent)) {
       std::string name = Cur().text;
       ++pos_;
-      return NameOrLiteral::Name(std::move(name));
+      return with_offset(NameOrLiteral::Name(std::move(name)));
     }
     if (At(TokenKind::kString)) {
       Oid lit = Oid::Str(Cur().text);
       ++pos_;
-      return NameOrLiteral::Lit(std::move(lit));
+      return with_offset(NameOrLiteral::Lit(std::move(lit)));
     }
     if (At(TokenKind::kNumber)) {
       Rational num = Cur().number;
       ++pos_;
-      return NameOrLiteral::Lit(num.IsInteger()
-                                    ? Oid::Int(num.num().ToInt64().ValueOr(0))
-                                    : Oid::Real(num));
+      return with_offset(NameOrLiteral::Lit(
+          num.IsInteger() ? Oid::Int(num.num().ToInt64().ValueOr(0))
+                          : Oid::Real(num)));
     }
-    if (Accept(TokenKind::kTrue)) return NameOrLiteral::Lit(Oid::Bool(true));
-    if (Accept(TokenKind::kFalse)) return NameOrLiteral::Lit(Oid::Bool(false));
+    if (Accept(TokenKind::kTrue)) {
+      return with_offset(NameOrLiteral::Lit(Oid::Bool(true)));
+    }
+    if (Accept(TokenKind::kFalse)) {
+      return with_offset(NameOrLiteral::Lit(Oid::Bool(false)));
+    }
     return Err("expected a selector (identifier or literal)");
   }
 
   // path := selector ('.' ident ['[' selector ']'])*
   Result<PathExpr> ParsePath() {
     PathExpr out;
+    out.offset = Cur().offset;
     LYRIC_ASSIGN_OR_RETURN(out.head, ParseSelector());
     while (At(TokenKind::kDot)) {
       ++pos_;
       PathExpr::Step step;
+      step.offset = Cur().offset;
       LYRIC_ASSIGN_OR_RETURN(step.attribute, ExpectIdent());
       if (Accept(TokenKind::kLBracket)) {
         LYRIC_ASSIGN_OR_RETURN(auto sel, ParseSelector());
@@ -215,6 +249,7 @@ class Parser {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseTerm());
       auto node = std::make_unique<ArithExpr>();
       node->kind = add ? ArithExpr::Kind::kAdd : ArithExpr::Kind::kSub;
+      node->offset = lhs->offset;
       node->lhs = std::move(lhs);
       node->rhs = std::move(rhs);
       lhs = std::move(node);
@@ -230,6 +265,7 @@ class Parser {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseFactor());
       auto node = std::make_unique<ArithExpr>();
       node->kind = mul ? ArithExpr::Kind::kMul : ArithExpr::Kind::kDiv;
+      node->offset = lhs->offset;
       node->lhs = std::move(lhs);
       node->rhs = std::move(rhs);
       lhs = std::move(node);
@@ -238,10 +274,12 @@ class Parser {
   }
 
   Result<std::unique_ptr<ArithExpr>> ParseFactor() {
+    size_t offset = Cur().offset;
     if (Accept(TokenKind::kMinus)) {
       LYRIC_ASSIGN_OR_RETURN(auto operand, ParseFactor());
       auto node = std::make_unique<ArithExpr>();
       node->kind = ArithExpr::Kind::kNeg;
+      node->offset = offset;
       node->lhs = std::move(operand);
       return node;
     }
@@ -249,6 +287,7 @@ class Parser {
       auto node = std::make_unique<ArithExpr>();
       node->kind = ArithExpr::Kind::kConst;
       node->constant = Cur().number;
+      node->offset = offset;
       ++pos_;
       return node;
     }
@@ -260,6 +299,7 @@ class Parser {
     if (At(TokenKind::kIdent)) {
       LYRIC_ASSIGN_OR_RETURN(PathExpr path, ParsePath());
       auto node = std::make_unique<ArithExpr>();
+      node->offset = offset;
       if (path.steps.empty()) {
         node->kind = ArithExpr::Kind::kName;
         node->name = path.head.name;
@@ -298,6 +338,7 @@ class Parser {
     if (!At(TokenKind::kOr)) return lhs;
     auto node = std::make_unique<Formula>();
     node->kind = Formula::Kind::kOr;
+    node->offset = lhs->offset;
     node->children.push_back(std::move(lhs));
     while (Accept(TokenKind::kOr)) {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseFormulaAnd());
@@ -311,6 +352,7 @@ class Parser {
     if (!At(TokenKind::kAnd)) return lhs;
     auto node = std::make_unique<Formula>();
     node->kind = Formula::Kind::kAnd;
+    node->offset = lhs->offset;
     node->children.push_back(std::move(lhs));
     while (Accept(TokenKind::kAnd)) {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseFormulaNot());
@@ -320,10 +362,12 @@ class Parser {
   }
 
   Result<std::unique_ptr<Formula>> ParseFormulaNot() {
+    size_t offset = Cur().offset;
     if (Accept(TokenKind::kNot)) {
       LYRIC_ASSIGN_OR_RETURN(auto operand, ParseFormulaNot());
       auto node = std::make_unique<Formula>();
       node->kind = Formula::Kind::kNot;
+      node->offset = offset;
       node->children.push_back(std::move(operand));
       return node;
     }
@@ -333,6 +377,7 @@ class Parser {
   // projection := '(' '(' vars ')' '|' formula ')'
   Result<std::unique_ptr<Formula>> TryParseProjection() {
     size_t save = pos_;
+    size_t offset = Cur().offset;
     auto fail = [&]() -> Status {
       pos_ = save;
       return Status::ParseError("not a projection");
@@ -354,16 +399,19 @@ class Parser {
     LYRIC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
     auto node = std::make_unique<Formula>();
     node->kind = Formula::Kind::kProject;
+    node->offset = offset;
     node->proj_vars = std::move(vars);
     node->children.push_back(std::move(body));
     return node;
   }
 
   Result<std::unique_ptr<Formula>> ParseFormulaPrimary() {
+    size_t offset = Cur().offset;
     if (Accept(TokenKind::kExists)) {
       // exists v1, v2 . (phi)
       auto node = std::make_unique<Formula>();
       node->kind = Formula::Kind::kExists;
+      node->offset = offset;
       for (;;) {
         LYRIC_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
         node->proj_vars.push_back(std::move(var));
@@ -377,11 +425,13 @@ class Parser {
     if (Accept(TokenKind::kTrue)) {
       auto node = std::make_unique<Formula>();
       node->kind = Formula::Kind::kTrue;
+      node->offset = offset;
       return node;
     }
     if (Accept(TokenKind::kFalse)) {
       auto node = std::make_unique<Formula>();
       node->kind = Formula::Kind::kFalse;
+      node->offset = offset;
       return node;
     }
     if (At(TokenKind::kLParen)) {
@@ -424,6 +474,7 @@ class Parser {
       auto atom = std::make_unique<Formula>();
       atom->kind = Formula::Kind::kAtom;
       atom->relop = op;
+      atom->offset = prev->offset;
       atom->atom_lhs = std::move(prev);
       // Deep-copy `next` for the chain continuation.
       atom->atom_rhs = CloneArith(*next);
@@ -433,6 +484,7 @@ class Parser {
     if (atoms.size() == 1) return std::move(atoms[0]);
     auto node = std::make_unique<Formula>();
     node->kind = Formula::Kind::kAnd;
+    node->offset = atoms[0]->offset;
     node->children = std::move(atoms);
     return node;
   }
@@ -442,6 +494,7 @@ class Parser {
     out->kind = e.kind;
     out->constant = e.constant;
     out->name = e.name;
+    out->offset = e.offset;
     if (e.path) out->path = std::make_unique<PathExpr>(*e.path);
     if (e.lhs) out->lhs = CloneArith(*e.lhs);
     if (e.rhs) out->rhs = CloneArith(*e.rhs);
@@ -459,9 +512,12 @@ class Parser {
     }
     auto node = std::make_unique<Formula>();
     node->kind = Formula::Kind::kPred;
+    node->offset = first->offset;
     if (first->kind == ArithExpr::Kind::kName) {
       node->pred = std::make_unique<PathExpr>();
       node->pred->head = NameOrLiteral::Name(first->name);
+      node->pred->head.offset = first->offset;
+      node->pred->offset = first->offset;
     } else {
       node->pred = std::move(first->path);
     }
@@ -497,6 +553,7 @@ class Parser {
 
   Result<SelectItem> ParseSelectItem() {
     SelectItem item;
+    item.offset = Cur().offset;
     // Optional 'name ='.
     if (At(TokenKind::kIdent) &&
         tokens_[pos_ + 1].kind == TokenKind::kEq) {
@@ -550,6 +607,7 @@ class Parser {
     if (!At(TokenKind::kOr)) return lhs;
     auto node = std::make_unique<WhereExpr>();
     node->kind = WhereExpr::Kind::kOr;
+    node->offset = lhs->offset;
     node->children.push_back(std::move(lhs));
     while (Accept(TokenKind::kOr)) {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseWhereAnd());
@@ -563,6 +621,7 @@ class Parser {
     if (!At(TokenKind::kAnd)) return lhs;
     auto node = std::make_unique<WhereExpr>();
     node->kind = WhereExpr::Kind::kAnd;
+    node->offset = lhs->offset;
     node->children.push_back(std::move(lhs));
     while (Accept(TokenKind::kAnd)) {
       LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseWhereNot());
@@ -572,10 +631,12 @@ class Parser {
   }
 
   Result<std::unique_ptr<WhereExpr>> ParseWhereNot() {
+    size_t offset = Cur().offset;
     if (Accept(TokenKind::kNot)) {
       LYRIC_ASSIGN_OR_RETURN(auto operand, ParseWhereNot());
       auto node = std::make_unique<WhereExpr>();
       node->kind = WhereExpr::Kind::kNot;
+      node->offset = offset;
       node->children.push_back(std::move(operand));
       return node;
     }
@@ -583,6 +644,7 @@ class Parser {
   }
 
   Result<std::unique_ptr<WhereExpr>> ParseWherePrimary() {
+    size_t offset = Cur().offset;
     // SAT(phi).
     if (Accept(TokenKind::kSat)) {
       LYRIC_RETURN_NOT_OK(Expect(TokenKind::kLParen));
@@ -590,6 +652,7 @@ class Parser {
       LYRIC_RETURN_NOT_OK(Expect(TokenKind::kRParen));
       auto node = std::make_unique<WhereExpr>();
       node->kind = WhereExpr::Kind::kFormulaSat;
+      node->offset = offset;
       node->formula = std::move(f);
       return node;
     }
@@ -601,6 +664,7 @@ class Parser {
         LYRIC_ASSIGN_OR_RETURN(auto rhs, ParseFormulaOperand());
         auto node = std::make_unique<WhereExpr>();
         node->kind = WhereExpr::Kind::kEntails;
+        node->offset = offset;
         node->ent_lhs = std::move(lhs).value();
         node->ent_rhs = std::move(rhs);
         return node;
@@ -623,6 +687,7 @@ class Parser {
     if (AtRelop() || At(TokenKind::kContains)) {
       auto node = std::make_unique<WhereExpr>();
       node->kind = WhereExpr::Kind::kCompare;
+      node->offset = offset;
       node->cmp_op = At(TokenKind::kContains) ? "contains" : TakeRelop();
       if (node->cmp_op == "contains") ++pos_;
       node->cmp_lhs = std::move(lhs);
@@ -634,6 +699,7 @@ class Parser {
     }
     auto node = std::make_unique<WhereExpr>();
     node->kind = WhereExpr::Kind::kPathPred;
+    node->offset = offset;
     node->path = std::move(lhs.path);
     return node;
   }
@@ -654,6 +720,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t error_offset_ = 0;
+  size_t error_length_ = 1;
 };
 
 }  // namespace
@@ -662,6 +730,26 @@ Result<ast::Query> ParseQuery(const std::string& text) {
   LYRIC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
   Parser parser(std::move(tokens));
   return parser.ParseQuery();
+}
+
+Result<ast::Query> ParseQuery(const std::string& text, Diagnostic* diag) {
+  size_t lex_error_offset = 0;
+  Result<std::vector<Token>> tokens = Lex(text, &lex_error_offset);
+  if (!tokens.ok()) {
+    if (diag != nullptr) {
+      *diag = MakeDiag(DiagCode::kLexError, {lex_error_offset, 1},
+                       tokens.status().message());
+    }
+    return tokens.status();
+  }
+  Parser parser(std::move(tokens).value());
+  Result<ast::Query> query = parser.ParseQuery();
+  if (!query.ok() && diag != nullptr) {
+    *diag = MakeDiag(DiagCode::kSyntaxError,
+                     {parser.error_offset(), parser.error_length()},
+                     query.status().message());
+  }
+  return query;
 }
 
 Result<ast::Formula> ParseFormula(const std::string& text) {

@@ -25,6 +25,7 @@
 #define LYRIC_QUERY_PARSER_H_
 
 #include "query/ast.h"
+#include "query/diagnostics.h"
 #include "query/token.h"
 #include "util/result.h"
 
@@ -32,6 +33,11 @@ namespace lyric {
 
 /// Parses one LyriC query (optionally terminated by ';').
 Result<ast::Query> ParseQuery(const std::string& text);
+
+/// Like ParseQuery, but on failure also fills `diag` (when non-null) with
+/// an LY001/LY002 diagnostic carrying the source span of the offending
+/// token — the structured form the lint tools render with carets.
+Result<ast::Query> ParseQuery(const std::string& text, Diagnostic* diag);
 
 /// Parses a standalone CST formula — handy for tests and the API.
 Result<ast::Formula> ParseFormula(const std::string& text);

@@ -10,6 +10,7 @@
 
 #include "object/oid.h"
 #include "obs/profile.h"
+#include "query/diagnostics.h"
 
 namespace lyric {
 
@@ -53,11 +54,20 @@ class ResultSet {
     profile_ = std::move(profile);
   }
 
+  /// Findings of the pre-flight analysis (EvalOptions::analyze_first):
+  /// warnings and §3 family notes the query evaluated despite. Errors
+  /// never reach a ResultSet — they abort evaluation.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  void set_diagnostics(std::vector<Diagnostic> diagnostics) {
+    diagnostics_ = std::move(diagnostics);
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<Oid>> rows_;
   bool truncated_ = false;
   std::shared_ptr<const obs::QueryProfile> profile_;
+  std::vector<Diagnostic> diagnostics_;
 };
 
 }  // namespace lyric

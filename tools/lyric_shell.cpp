@@ -12,6 +12,7 @@
 //   .objects [CLASS]     list stored objects (optionally of one class)
 //   .office              load the bundled Figure 1/2 office database
 //   .analyze QUERY       run the static analyzer only
+//   .check QUERY         lint: diagnostics with carets + §3 families
 //   .stats               engine counters accumulated this session
 //   .profile QUERY       run QUERY with tracing: stage breakdown + counters
 //   .trace on PATH       write a Chrome trace JSON per query to PATH
@@ -124,7 +125,10 @@ int main(int argc, char** argv) {
       if (cmd == ".help") {
         std::cout << "  .classes | .schema CLASS | .objects [CLASS] | "
                      ".office | .analyze QUERY | .load PATH | .save PATH | "
-                     ".quit\n  .stats               engine counters for this "
+                     ".quit\n  .check QUERY         lint the query: LY0xx "
+                     "diagnostics with carets,\n                       "
+                     "inferred §3 constraint families, variable classes\n"
+                     "  .stats               engine counters for this "
                      "session\n  .profile QUERY       stage timings + counter "
                      "deltas for one query\n  .trace on PATH       write a "
                      "Chrome trace JSON per query to PATH\n  .trace off       "
@@ -174,6 +178,23 @@ int main(int argc, char** argv) {
         } else {
           std::cout << ids.status() << "\n";
         }
+      } else if (cmd == ".check") {
+        CheckResult check = CheckQueryText(db, arg);
+        if (check.diagnostics.empty()) {
+          std::cout << "clean: no findings\n";
+        } else {
+          std::cout << RenderDiagnostics(arg, check.diagnostics);
+        }
+        for (const auto& [var, cls] : check.var_classes) {
+          std::cout << "  " << var << " : " << cls << "\n";
+        }
+        size_t errors = CountSeverity(check.diagnostics, Severity::kError);
+        std::cout << (errors == 0 ? "ok" : "failed") << " ("
+                  << errors << " error" << (errors == 1 ? "" : "s") << ", "
+                  << CountSeverity(check.diagnostics, Severity::kWarning)
+                  << " warnings, "
+                  << CountSeverity(check.diagnostics, Severity::kNote)
+                  << " notes)\n";
       } else if (cmd == ".analyze") {
         auto q = ParseQuery(arg);
         if (!q.ok()) {
