@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+#include "constraint/solver_cache.h"
 #include "office/office_db.h"
 #include "query/evaluator.h"
 
@@ -59,6 +61,47 @@ void BM_PaperQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaperQuery)->DenseRange(0, 5);
+
+// The parallel sweep: the Q5-style entailment filter over a database
+// scaled to enough room objects that the per-binding chunks actually
+// occupy every worker. Wall time at Arg(t) vs Arg(1) is the speedup CI
+// records (BENCH_parallel.json); `cache_hit_rate` shows how much of the
+// solver work the memo cache absorbed.
+void BM_PaperQueryThreads(benchmark::State& state) {
+  Database db;
+  (void)office::BuildOfficeDatabase(&db);
+  (void)office::AddScaledDesks(&db, 48, /*seed=*/77);
+  const char* q =
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and "
+      "L(x, y) |= (0 < x and x < 20 and 0 < y and y < 10)";
+  SolverCache::Global().Clear();
+  SolverCache::Stats before = SolverCache::Global().stats();
+  {
+    bench::CounterDeltas deltas(state);
+    for (auto _ : state) {
+      EvalOptions opts;
+      opts.threads = static_cast<size_t>(state.range(0));
+      Evaluator ev(&db, opts);
+      auto r = ev.Execute(q);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  SolverCache::Stats after = SolverCache::Global().stats();
+  uint64_t hits = after.hits - before.hits;
+  uint64_t misses = after.misses - before.misses;
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["cache_hit_rate"] =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+BENCHMARK(BM_PaperQueryThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace lyric

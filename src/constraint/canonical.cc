@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "constraint/simplex.h"
+#include "constraint/solver_cache.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -61,15 +62,13 @@ Conjunction Canonical::SolveEqualities(const Conjunction& c) {
   return out;
 }
 
-Result<Conjunction> Canonical::Simplify(const Conjunction& c,
-                                        CanonicalLevel level) {
-  LYRIC_OBS_COUNT("canonical.simplify_calls");
-  static obs::Timer& simplify_timer =
-      obs::Registry::Global().GetTimer("canonical.simplify");
-  obs::ScopedTimer scoped_timer(simplify_timer);
+namespace {
+
+Result<Conjunction> SimplifyConjunctionUncached(const Conjunction& c,
+                                                CanonicalLevel level) {
   Conjunction cur = c;
   if (level >= CanonicalLevel::kCheap) {
-    cur = SolveEqualities(cur);
+    cur = Canonical::SolveEqualities(cur);
   }
   cur.SortAndDedupe();
   if (cur.HasConstantFalse()) return Conjunction::False();
@@ -117,6 +116,29 @@ Result<Conjunction> Canonical::Simplify(const Conjunction& c,
     cur.SortAndDedupe();
   }
   return cur;
+}
+
+}  // namespace
+
+Result<Conjunction> Canonical::Simplify(const Conjunction& c,
+                                        CanonicalLevel level) {
+  LYRIC_OBS_COUNT("canonical.simplify_calls");
+  static obs::Timer& simplify_timer =
+      obs::Registry::Global().GetTimer("canonical.simplify");
+  obs::ScopedTimer scoped_timer(simplify_timer);
+  // Memoize the LP-bearing levels only; kSyntactic simplification is
+  // cheaper than the lookup itself.
+  if (level < CanonicalLevel::kCheap) {
+    return SimplifyConjunctionUncached(c, level);
+  }
+  SolverCache& cache = SolverCache::Global();
+  if (std::optional<Conjunction> cached = cache.LookupCanonical(c, level)) {
+    return *cached;
+  }
+  LYRIC_ASSIGN_OR_RETURN(Conjunction out,
+                         SimplifyConjunctionUncached(c, level));
+  cache.StoreCanonical(c, level, out);
+  return out;
 }
 
 Result<Dnf> Canonical::Simplify(const Dnf& d, CanonicalLevel level) {

@@ -1,6 +1,7 @@
 #include "constraint/entailment.h"
 
 #include "constraint/simplex.h"
+#include "constraint/solver_cache.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -33,11 +34,20 @@ Result<bool> SatWithClauses(const Conjunction& base,
 Result<bool> Entailment::ConjunctionEntails(const Conjunction& lhs,
                                             const Dnf& rhs) {
   LYRIC_OBS_COUNT("entailment.checks");
+  SolverCache& cache = SolverCache::Global();
+  if (std::optional<bool> cached = cache.LookupEntails(lhs, rhs)) {
+    return *cached;
+  }
   // lhs |= D1 or ... or Dk  iff  lhs and not(D1) and ... and not(Dk) unsat.
   std::vector<Clause> clauses;
   clauses.reserve(rhs.size());
+  bool holds;
+  bool trivially_true = false;
   for (const Conjunction& d : rhs.disjuncts()) {
-    if (d.IsTrue()) return true;  // rhs contains TRUE.
+    if (d.IsTrue()) {
+      trivially_true = true;  // rhs contains TRUE.
+      break;
+    }
     Clause clause;
     for (const LinearConstraint& atom : d.atoms()) {
       for (const LinearConstraint& neg : atom.Negate()) {
@@ -46,9 +56,15 @@ Result<bool> Entailment::ConjunctionEntails(const Conjunction& lhs,
     }
     clauses.push_back(std::move(clause));
   }
-  LYRIC_ASSIGN_OR_RETURN(bool counterexample,
-                         SatWithClauses(lhs, clauses, 0));
-  return !counterexample;
+  if (trivially_true) {
+    holds = true;
+  } else {
+    LYRIC_ASSIGN_OR_RETURN(bool counterexample,
+                           SatWithClauses(lhs, clauses, 0));
+    holds = !counterexample;
+  }
+  cache.StoreEntails(lhs, rhs, holds);
+  return holds;
 }
 
 Result<bool> Entailment::Entails(const Dnf& lhs, const Dnf& rhs) {

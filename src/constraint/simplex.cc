@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "constraint/solver_cache.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -429,17 +430,23 @@ bool ClosedEntailsZero(const SplitAtoms& closure, const LinearExpr& expr) {
 
 Result<bool> Simplex::IsSatisfiable(const Conjunction& c) {
   LYRIC_OBS_COUNT("simplex.calls.is_satisfiable");
-  SplitAtoms atoms = Split(c);
-  ClosedLpResult base = SatNoDiseq(atoms);
-  if (base.status != LpStatus::kOptimal) return false;
-  // A nonempty convex set lies inside a finite union of hyperplanes iff it
-  // lies inside one of them, so the disequalities can be checked one at a
-  // time against the closure.
-  SplitAtoms closure = ClosureAtoms(atoms);
-  for (const LinearConstraint& d : atoms.diseq) {
-    if (ClosedEntailsZero(closure, d.lhs())) return false;
-  }
-  return true;
+  SolverCache& cache = SolverCache::Global();
+  if (std::optional<bool> cached = cache.LookupSat(c)) return *cached;
+  bool sat = [&] {
+    SplitAtoms atoms = Split(c);
+    ClosedLpResult base = SatNoDiseq(atoms);
+    if (base.status != LpStatus::kOptimal) return false;
+    // A nonempty convex set lies inside a finite union of hyperplanes iff
+    // it lies inside one of them, so the disequalities can be checked one
+    // at a time against the closure.
+    SplitAtoms closure = ClosureAtoms(atoms);
+    for (const LinearConstraint& d : atoms.diseq) {
+      if (ClosedEntailsZero(closure, d.lhs())) return false;
+    }
+    return true;
+  }();
+  cache.StoreSat(c, sat);
+  return sat;
 }
 
 Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {

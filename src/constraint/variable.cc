@@ -1,15 +1,21 @@
 #include "constraint/variable.h"
 
 #include <cassert>
+#include <deque>
+#include <mutex>
 #include <unordered_map>
 
 namespace lyric {
 
 namespace {
 
+// Thread-safe: the parallel evaluator interns variables from worker
+// threads. Names live in a deque so the references handed out by Name()
+// stay stable across later interning.
 struct Interner {
+  std::mutex mu;
   std::unordered_map<std::string, VarId> ids;
-  std::vector<std::string> names;
+  std::deque<std::string> names;
   uint64_t fresh_counter = 0;
 };
 
@@ -18,10 +24,7 @@ Interner& GetInterner() {
   return *interner;
 }
 
-}  // namespace
-
-VarId Variable::Intern(const std::string& name) {
-  Interner& in = GetInterner();
+VarId InternLocked(Interner& in, const std::string& name) {
   auto it = in.ids.find(name);
   if (it != in.ids.end()) return it->second;
   VarId id = static_cast<VarId>(in.names.size());
@@ -30,23 +33,37 @@ VarId Variable::Intern(const std::string& name) {
   return id;
 }
 
+}  // namespace
+
+VarId Variable::Intern(const std::string& name) {
+  Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return InternLocked(in, name);
+}
+
 const std::string& Variable::Name(VarId id) {
   Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
   assert(id < in.names.size());
   return in.names[id];
 }
 
 VarId Variable::Fresh(const std::string& hint) {
   Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
   for (;;) {
     std::string candidate = hint + "$" + std::to_string(in.fresh_counter++);
     if (in.ids.find(candidate) == in.ids.end()) {
-      return Intern(candidate);
+      return InternLocked(in, candidate);
     }
   }
 }
 
-size_t Variable::Count() { return GetInterner().names.size(); }
+size_t Variable::Count() {
+  Interner& in = GetInterner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return in.names.size();
+}
 
 std::string VarSetToString(const VarSet& vars) {
   std::string out = "{";

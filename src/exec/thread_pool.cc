@@ -1,0 +1,84 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lyric {
+namespace exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  LYRIC_OBS_COUNT_N("exec.pool_threads_spawned", num_threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  LYRIC_OBS_COUNT("exec.tasks_submitted");
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain before exiting so every submitted task runs (chunk results
+      // the merge is waiting on must materialize even during shutdown).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ChunkLatch::Done(size_t chunk_index) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (chunk_index < done_bits_.size() && !done_bits_[chunk_index]) {
+      done_bits_[chunk_index] = true;
+      ++completed_;
+    }
+  }
+  cv_.notify_all();
+}
+
+void ChunkLatch::WaitFor(size_t chunk_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, chunk_index] {
+    return chunk_index >= done_bits_.size() || done_bits_[chunk_index];
+  });
+}
+
+void ChunkLatch::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return completed_ == total_; });
+}
+
+}  // namespace exec
+}  // namespace lyric

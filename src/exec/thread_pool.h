@@ -1,0 +1,91 @@
+// A fixed-size worker pool for parallel query evaluation.
+//
+// The LyriC evaluator's hot loop is embarrassingly parallel: each candidate
+// binding's WHERE-clause satisfiability/entailment test is an independent
+// simplex/Fourier-Motzkin problem (the PTIME data-complexity argument of §5
+// is per-tuple). The pool runs those per-chunk tasks concurrently; the
+// evaluator merges chunk results back in input order so parallel output is
+// byte-identical to serial output (see docs/PARALLELISM.md).
+//
+// The pool is deliberately small: submit closures, destruction drains the
+// queue and joins. No futures, no work stealing — the evaluator partitions
+// work into contiguous chunks up front and synchronizes per chunk with
+// ChunkLatch below.
+
+#ifndef LYRIC_EXEC_THREAD_POOL_H_
+#define LYRIC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lyric {
+namespace exec {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains the queue (every submitted task runs) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks run in FIFO order across the workers; a task
+  /// must not submit to the pool it runs on while the pool is being
+  /// destroyed.
+  void Submit(std::function<void()> task);
+
+  /// The hardware concurrency, at least 1 (std::thread reports 0 when it
+  /// cannot tell).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// A one-shot countdown latch: the evaluator submits N chunk tasks, each
+/// task counts down once, and the merging thread waits for a *prefix* of
+/// chunks (WaitFor(k) returns once at least k chunks completed). Prefix
+/// waiting lets the merge commit chunk i as soon as chunks 0..i are done,
+/// without a full barrier over the whole batch.
+class ChunkLatch {
+ public:
+  explicit ChunkLatch(size_t total)
+      : total_(total), done_bits_(total, false) {}
+
+  /// Marks one chunk (by index) complete.
+  void Done(size_t chunk_index);
+
+  /// Blocks until chunk `chunk_index` has completed.
+  void WaitFor(size_t chunk_index);
+
+  /// Blocks until every chunk has completed.
+  void WaitAll();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t total_;
+  std::vector<bool> done_bits_;
+  size_t completed_ = 0;
+};
+
+}  // namespace exec
+}  // namespace lyric
+
+#endif  // LYRIC_EXEC_THREAD_POOL_H_

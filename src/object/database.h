@@ -11,6 +11,8 @@
 #define LYRIC_OBJECT_DATABASE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,8 +84,11 @@ class Database {
   Result<std::string> ClassOf(const Oid& oid) const;
 
   /// Interns a CST object by canonical form and returns its oid.
+  /// Thread-safe, and order-independent: the oid IS the canonical form, so
+  /// concurrent interleavings produce identical oids and an identical
+  /// store (the parallel evaluator's workers intern freely).
   Result<Oid> InternCst(const CstObject& obj);
-  /// The CST object denoted by a CST oid.
+  /// The CST object denoted by a CST oid. Thread-safe against InternCst.
   Result<CstObject> GetCst(const Oid& oid) const;
 
   /// Is `oid` an instance of `class_name`? Covers literals (20 : int),
@@ -106,7 +111,7 @@ class Database {
   }
 
   size_t ObjectCount() const { return objects_.size(); }
-  size_t CstCount() const { return cst_store_.size(); }
+  size_t CstCount() const;
 
   /// Full integrity sweep: every stored attribute conforms to its
   /// signature, every referenced oid exists where the signature demands
@@ -119,6 +124,11 @@ class Database {
   Schema schema_;
   MethodRegistry methods_;
   std::map<Oid, ObjectRecord> objects_;
+  // Guards cst_store_ only: CST interning is the one database write the
+  // parallel evaluator's workers perform (via SELECT construction and the
+  // builtin CST methods); every other mutation stays on the merge thread.
+  // Held by pointer so Database remains movable.
+  std::unique_ptr<std::mutex> cst_mu_ = std::make_unique<std::mutex>();
   std::map<std::string, CstObject> cst_store_;  // canonical -> object
   // Extra instance-of facts (oid may appear for several classes).
   std::map<Oid, std::vector<std::string>> extra_classes_;

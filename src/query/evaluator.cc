@@ -1,7 +1,11 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
+#include "constraint/solver_cache.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/analyzer.h"
@@ -10,6 +14,18 @@
 #include "query/path_walker.h"
 
 namespace lyric {
+
+size_t DefaultEvalThreads() {
+  static const size_t threads = [] {
+    const char* env = std::getenv("LYRIC_THREADS");
+    if (env == nullptr || *env == '\0') return size_t{1};
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || v == 0) return size_t{1};
+    return static_cast<size_t>(v > 64 ? 64 : v);
+  }();
+  return threads;
+}
 
 namespace {
 
@@ -490,6 +506,9 @@ Status Evaluator::MaterializeView(const ast::Query& query,
 Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   LYRIC_OBS_COUNT("evaluator.queries");
   created_classes_.clear();
+  if (options_.cache_capacity.has_value()) {
+    SolverCache::Global().set_capacity(*options_.cache_capacity);
+  }
   // Pre-flight: collect the full diagnostic set; any error aborts before
   // data is touched, warnings and §3 family notes ride on the ResultSet.
   std::vector<Diagnostic> preflight;
@@ -528,43 +547,154 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
     LYRIC_ASSIGN_OR_RETURN(bindings, EnumerateFrom(query));
   }
   LYRIC_OBS_COUNT_N("evaluator.bindings_enumerated", bindings.size());
+
+  // CREATE VIEW materializes objects and schema mid-scan, so it stays on
+  // one thread; a single binding has nothing to partition.
+  size_t threads = options_.threads < 1 ? 1 : options_.threads;
+  if (threads > 1 && !query.is_view && bindings.size() > 1) {
+    return ExecuteParallel(query, declared, std::move(out), bindings,
+                           threads);
+  }
+
   for (const Binding& base : bindings) {
-    std::vector<Binding> survivors{base};
-    if (query.where) {
-      obs::Span span("where");
-      LYRIC_ASSIGN_OR_RETURN(survivors,
-                             EvalWhere(*query.where, base, declared, 0));
-    }
-    // Deduplicate extensions.
-    std::sort(survivors.begin(), survivors.end());
-    survivors.erase(std::unique(survivors.begin(), survivors.end()),
-                    survivors.end());
-    LYRIC_OBS_COUNT_N("evaluator.bindings_survived", survivors.size());
-    LYRIC_OBS_COUNT_N("evaluator.bindings_filtered",
-                      survivors.empty() ? 1 : 0);
-    for (const Binding& b : survivors) {
-      std::vector<std::vector<Oid>> rows;
-      {
-        obs::Span span("select");
-        LYRIC_ASSIGN_OR_RETURN(rows, EvalSelect(query, b, declared));
-      }
-      for (std::vector<Oid>& row : rows) {
-        // Safety valve: stop at the limit instead of over-producing. The
-        // rows already collected are a correct prefix of the answer.
-        if (out.size() >= options_.max_rows) {
-          LYRIC_OBS_COUNT("evaluator.rows_truncated");
-          out.set_truncated(true);
-          return out;
-        }
-        if (query.is_view) {
-          LYRIC_RETURN_NOT_OK(MaterializeView(query, b, row));
-        }
-        out.AddRow(std::move(row));
-        LYRIC_OBS_COUNT("evaluator.rows_emitted");
-      }
-    }
+    BindingOutcome outcome = EvalOneBinding(query, base, declared);
+    LYRIC_ASSIGN_OR_RETURN(bool keep_going,
+                           CommitOutcome(query, std::move(outcome), &out));
+    if (!keep_going) return out;
   }
   return out;
+}
+
+Evaluator::BindingOutcome Evaluator::EvalOneBinding(
+    const ast::Query& query, const Binding& base,
+    const std::set<std::string>& declared) {
+  BindingOutcome outcome;
+  std::vector<Binding> survivors{base};
+  if (query.where) {
+    obs::Span span("where");
+    Result<std::vector<Binding>> r =
+        EvalWhere(*query.where, base, declared, 0);
+    if (!r.ok()) {
+      outcome.status = r.status();
+      return outcome;
+    }
+    survivors = std::move(*r);
+  }
+  // Deduplicate extensions.
+  std::sort(survivors.begin(), survivors.end());
+  survivors.erase(std::unique(survivors.begin(), survivors.end()),
+                  survivors.end());
+  LYRIC_OBS_COUNT_N("evaluator.bindings_survived", survivors.size());
+  LYRIC_OBS_COUNT_N("evaluator.bindings_filtered",
+                    survivors.empty() ? 1 : 0);
+  for (Binding& b : survivors) {
+    std::vector<std::vector<Oid>> rows;
+    {
+      obs::Span span("select");
+      Result<std::vector<std::vector<Oid>>> r = EvalSelect(query, b, declared);
+      if (!r.ok()) {
+        outcome.status = r.status();
+        return outcome;
+      }
+      rows = std::move(*r);
+    }
+    outcome.per_survivor.emplace_back(std::move(b), std::move(rows));
+  }
+  return outcome;
+}
+
+Result<bool> Evaluator::CommitOutcome(const ast::Query& query,
+                                      BindingOutcome outcome,
+                                      ResultSet* out) {
+  LYRIC_RETURN_NOT_OK(outcome.status);
+  for (auto& [binding, rows] : outcome.per_survivor) {
+    for (std::vector<Oid>& row : rows) {
+      // Safety valve: stop at the limit instead of over-producing. The
+      // rows already collected are a correct prefix of the answer. The
+      // check counts committed merged rows — never per-worker rows — so
+      // serial and parallel runs truncate at the identical row.
+      if (out->size() >= options_.max_rows) {
+        LYRIC_OBS_COUNT("evaluator.rows_truncated");
+        out->set_truncated(true);
+        return false;
+      }
+      if (query.is_view) {
+        LYRIC_RETURN_NOT_OK(MaterializeView(query, binding, row));
+      }
+      out->AddRow(std::move(row));
+      LYRIC_OBS_COUNT("evaluator.rows_emitted");
+    }
+  }
+  return true;
+}
+
+Result<ResultSet> Evaluator::ExecuteParallel(
+    const ast::Query& query, const std::set<std::string>& declared,
+    ResultSet out, const std::vector<Binding>& bindings, size_t threads) {
+  // Chunk so each worker sees several chunks (tail-balancing) without
+  // making chunks so small the latch traffic dominates.
+  const size_t target_chunks = threads * 4;
+  const size_t chunk_size =
+      std::max<size_t>(1, (bindings.size() + target_chunks - 1) /
+                              target_chunks);
+  const size_t num_chunks = (bindings.size() + chunk_size - 1) / chunk_size;
+  LYRIC_OBS_COUNT_N("evaluator.parallel_chunks", num_chunks);
+  LYRIC_OBS_COUNT("evaluator.parallel_queries");
+
+  std::vector<std::vector<BindingOutcome>> chunk_results(num_chunks);
+  exec::ChunkLatch latch(num_chunks);
+  // Raised by the merge thread on error or truncation; workers poll it
+  // between bindings and skip the remaining work (their chunks merge as
+  // empty, which the merge loop never reaches).
+  std::atomic<bool> cancel{false};
+  {
+    exec::ThreadPool pool(std::min(threads, num_chunks));
+    for (size_t ci = 0; ci < num_chunks; ++ci) {
+      pool.Submit([this, &query, &declared, &bindings, &chunk_results,
+                   &latch, &cancel, ci, chunk_size] {
+        const size_t begin = ci * chunk_size;
+        const size_t end = std::min(begin + chunk_size, bindings.size());
+        std::vector<BindingOutcome>& results = chunk_results[ci];
+        results.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          if (cancel.load(std::memory_order_relaxed)) break;
+          results.push_back(EvalOneBinding(query, bindings[i], declared));
+        }
+        latch.Done(ci);
+      });
+    }
+
+    // Deterministic merge: chunks commit strictly in input order, so the
+    // output (rows, diagnostics, truncation point) is byte-identical to
+    // the serial scan. Trace spans are recorded here — workers run with
+    // no thread-local collector, so their obs::Spans are no-ops.
+    Result<ResultSet> merged = [&]() -> Result<ResultSet> {
+      for (size_t ci = 0; ci < num_chunks; ++ci) {
+        {
+          obs::Span span("chunk_wait");
+          latch.WaitFor(ci);
+        }
+        obs::Span span("chunk_merge");
+        for (BindingOutcome& outcome : chunk_results[ci]) {
+          Result<bool> keep_going =
+              CommitOutcome(query, std::move(outcome), &out);
+          if (!keep_going.ok()) {
+            cancel.store(true, std::memory_order_relaxed);
+            return keep_going.status();
+          }
+          if (!*keep_going) {
+            cancel.store(true, std::memory_order_relaxed);
+            return std::move(out);
+          }
+        }
+      }
+      return std::move(out);
+    }();
+    // Workers may still be running cancelled chunks; they must finish
+    // before chunk_results/cancel/latch leave scope (the pool dtor joins).
+    latch.WaitAll();
+    return merged;
+  }
 }
 
 }  // namespace lyric

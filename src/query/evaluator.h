@@ -15,6 +15,8 @@
 #ifndef LYRIC_QUERY_EVALUATOR_H_
 #define LYRIC_QUERY_EVALUATOR_H_
 
+#include <optional>
+
 #include "constraint/canonical.h"
 #include "object/database.h"
 #include "query/ast.h"
@@ -22,6 +24,11 @@
 #include "query/result_set.h"
 
 namespace lyric {
+
+/// The default worker-thread count: the LYRIC_THREADS environment
+/// variable clamped to [1, 64] (CI sweeps it), 1 when unset or
+/// unparseable. Read once per process.
+size_t DefaultEvalThreads();
 
 /// Evaluator knobs.
 struct EvalOptions {
@@ -48,6 +55,18 @@ struct EvalOptions {
   /// deltas) and attach it to the ResultSet. Off by default: with no
   /// collector installed every obs::Span is a single null check.
   bool collect_trace = false;
+  /// Worker threads for per-binding WHERE/SELECT evaluation (each
+  /// candidate binding's satisfiability/entailment work is an independent
+  /// simplex problem — §5's PTIME argument is per-tuple). 1 = serial. The
+  /// chunked results merge back in input order, so parallel output is
+  /// byte-identical to serial output (docs/PARALLELISM.md). CREATE VIEW
+  /// queries always run serially: materialization mutates the schema
+  /// mid-scan. Default: DefaultEvalThreads().
+  size_t threads = DefaultEvalThreads();
+  /// When set, re-bounds the process-wide SolverCache before evaluation
+  /// (entries; 0 disables memoization). Unset leaves the global
+  /// configuration (LYRIC_CACHE_CAPACITY env, default 4096) alone.
+  std::optional<size_t> cache_capacity;
 };
 
 /// Executes LyriC queries against a Database.
@@ -67,9 +86,36 @@ class Evaluator {
   }
 
  private:
+  /// The WHERE/SELECT product of one FROM binding: every surviving
+  /// (extended) binding paired with its SELECT rows, in evaluation order.
+  /// Computed on worker threads in parallel mode; `status` carries the
+  /// first failure. The merge commits rows strictly in input order so
+  /// truncation counts committed merged rows, never per-worker rows.
+  struct BindingOutcome {
+    Status status = Status::OK();
+    std::vector<std::pair<Binding, std::vector<std::vector<Oid>>>>
+        per_survivor;
+  };
+
   // The untraced evaluation pipeline; the public Execute overloads wrap it
   // in a trace session when options_.collect_trace is set.
   Result<ResultSet> ExecuteImpl(const ast::Query& query);
+  /// Runs WHERE + SELECT for one base binding (no ResultSet mutation, no
+  /// view materialization — safe on worker threads).
+  BindingOutcome EvalOneBinding(const ast::Query& query, const Binding& base,
+                                const std::set<std::string>& declared);
+  /// Commits one outcome's rows into `out` in order; returns false when
+  /// the result hit max_rows (caller stops committing). Runs view
+  /// materialization for serial view queries.
+  Result<bool> CommitOutcome(const ast::Query& query, BindingOutcome outcome,
+                             ResultSet* out);
+  /// The chunked parallel scan: partitions `bindings`, evaluates chunks on
+  /// a worker pool, merges deterministically in input order.
+  Result<ResultSet> ExecuteParallel(const ast::Query& query,
+                                    const std::set<std::string>& declared,
+                                    ResultSet out,
+                                    const std::vector<Binding>& bindings,
+                                    size_t threads);
   Result<std::vector<Binding>> EnumerateFrom(const ast::Query& query) const;
   Result<std::vector<Binding>> EvalWhere(const ast::WhereExpr& where,
                                          const Binding& binding,

@@ -1,0 +1,226 @@
+// Differential tests for the parallel evaluator: for every query, the
+// result of EvalOptions{threads = 2, 4, 8} must be byte-identical to the
+// serial run — same rendered table, same diagnostics, same truncation
+// flag. Parallelism is an implementation detail; any observable
+// divergence is a bug (docs/PARALLELISM.md).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+namespace lyric {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 4, 8};
+
+// Renders everything observable about a result: the table, the truncation
+// flag, and every diagnostic.
+std::string Fingerprint(const ResultSet& r) {
+  std::string out = r.ToString();
+  out += "\ntruncated=";
+  out += r.truncated() ? "yes" : "no";
+  for (const Diagnostic& d : r.diagnostics()) {
+    out += "\n" + d.ToString();
+  }
+  return out;
+}
+
+class ParallelDiffTest : public ::testing::Test {
+ protected:
+  // Each run gets a fresh database: evaluation interns CST objects, so
+  // reusing one instance would let an earlier run's store leak into a
+  // later run's extents.
+  static Database FreshDb(int scaled_desks) {
+    Database db;
+    auto ids = office::BuildOfficeDatabase(&db);
+    EXPECT_TRUE(ids.ok()) << ids.status();
+    if (scaled_desks > 0) {
+      Status st = office::AddScaledDesks(&db, scaled_desks, /*seed=*/7);
+      EXPECT_TRUE(st.ok()) << st;
+    }
+    return db;
+  }
+
+  static Result<ResultSet> Run(Database* db, const std::string& text,
+                               EvalOptions options) {
+    options.analyze_first = true;  // diagnostics must match too
+    Evaluator ev(db, options);
+    return ev.Execute(text);
+  }
+
+  // Asserts serial and parallel runs are byte-identical for `text`.
+  static void ExpectIdentical(const std::string& text, int scaled_desks,
+                              EvalOptions base = EvalOptions()) {
+    base.threads = 1;
+    Database serial_db = FreshDb(scaled_desks);
+    Result<ResultSet> serial = Run(&serial_db, text, base);
+    ASSERT_TRUE(serial.ok()) << text << "\n -> " << serial.status();
+    for (size_t threads : kThreadCounts) {
+      EvalOptions opts = base;
+      opts.threads = threads;
+      Database par_db = FreshDb(scaled_desks);
+      Result<ResultSet> parallel = Run(&par_db, text, opts);
+      ASSERT_TRUE(parallel.ok())
+          << text << " @" << threads << "t\n -> " << parallel.status();
+      EXPECT_EQ(Fingerprint(*serial), Fingerprint(*parallel))
+          << text << " diverged at threads=" << threads;
+      EXPECT_EQ(serial_db.CstCount(), par_db.CstCount())
+          << text << " interned a different CST set at threads=" << threads;
+    }
+  }
+};
+
+// The §4.1 worked examples over the Figure 2 database.
+TEST_F(ParallelDiffTest, PaperQ1DrawerExtent) {
+  ExpectIdentical("SELECT Y FROM Desk X WHERE X.drawer.extent[Y]", 0);
+}
+
+TEST_F(ParallelDiffTest, PaperQ2GlobalExtentExplicit) {
+  ExpectIdentical(
+      "SELECT CO, ((u, v) | E(w, z) and D(w, z, x, y, u, v) and x = 6 and "
+      "y = 4) "
+      "FROM Office_Object CO "
+      "WHERE CO.extent[E] and CO.translation[D]",
+      0);
+}
+
+TEST_F(ParallelDiffTest, PaperQ2ShortForm) {
+  ExpectIdentical(
+      "SELECT CO, ((u, v) | CO.extent and CO.translation and x = 6 and "
+      "y = 4) "
+      "FROM Office_Object CO",
+      0);
+}
+
+TEST_F(ParallelDiffTest, PaperQ3ObjectsNearWall) {
+  ExpectIdentical(
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and L(x, y) |= x <= 12",
+      0);
+}
+
+// Randomized instances: scaled databases where the binding stream is long
+// enough that every thread count actually partitions work.
+TEST_F(ParallelDiffTest, ScaledSelectAll) {
+  ExpectIdentical("SELECT O FROM Object_in_Room O", 40);
+}
+
+TEST_F(ParallelDiffTest, ScaledWhereEntailment) {
+  ExpectIdentical(
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and L(x, y) |= (x <= 15 and y <= 8)",
+      40);
+}
+
+TEST_F(ParallelDiffTest, ScaledConstructedCst) {
+  ExpectIdentical(
+      "SELECT O, ((u, v) | O.location and u = x + 1 and v = y + 1) "
+      "FROM Object_in_Room O",
+      24);
+}
+
+TEST_F(ParallelDiffTest, ScaledJoinPair) {
+  ExpectIdentical(
+      "SELECT A, B FROM Object_in_Room A, Object_in_Room B "
+      "WHERE A.location[L1] and B.location[L2] and L1 |= L2",
+      10);
+}
+
+// Regression (issue satellite): max_rows truncation must count committed
+// merged rows, not per-worker rows. Every thread count must truncate at
+// the identical prefix, flag the result, and agree with serial.
+TEST_F(ParallelDiffTest, MaxRowsTruncatesAtMergedRowCount) {
+  const std::string query = "SELECT O FROM Object_in_Room O";
+  constexpr size_t kLimit = 13;
+  EvalOptions base;
+  base.max_rows = kLimit;
+
+  Database serial_db = FreshDb(40);
+  Result<ResultSet> serial = Run(&serial_db, query, base);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(serial->truncated());
+  ASSERT_EQ(serial->size(), kLimit);
+
+  for (size_t threads : kThreadCounts) {
+    EvalOptions opts = base;
+    opts.threads = threads;
+    Database par_db = FreshDb(40);
+    Result<ResultSet> parallel = Run(&par_db, query, opts);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_TRUE(parallel->truncated()) << "threads=" << threads;
+    EXPECT_EQ(parallel->size(), kLimit) << "threads=" << threads;
+    EXPECT_EQ(Fingerprint(*serial), Fingerprint(*parallel))
+        << "truncated prefix diverged at threads=" << threads;
+  }
+}
+
+// Errors surface identically: the first failing binding in input order
+// wins, regardless of which worker hit it first. analyze_first stays off
+// so the error must travel the per-binding worker path.
+TEST_F(ParallelDiffTest, ErrorsMatchSerial) {
+  const std::string query =
+      "SELECT X FROM Object_in_Room D WHERE X.color['red'] and D.location[X]";
+  Database serial_db = FreshDb(12);
+  Evaluator serial_ev(&serial_db);
+  Result<ResultSet> serial = serial_ev.Execute(query);
+  ASSERT_FALSE(serial.ok());
+  for (size_t threads : kThreadCounts) {
+    EvalOptions opts;
+    opts.threads = threads;
+    Database par_db = FreshDb(12);
+    Evaluator par_ev(&par_db, opts);
+    Result<ResultSet> parallel = par_ev.Execute(query);
+    ASSERT_FALSE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(serial.status().code(), parallel.status().code());
+    EXPECT_EQ(serial.status().message(), parallel.status().message());
+  }
+}
+
+// CREATE VIEW runs serially regardless of the thread option — the result
+// and the created classes must match a one-thread run.
+TEST_F(ParallelDiffTest, ViewsForcedSerial) {
+  const std::string query =
+      "CREATE VIEW Near_Wall AS SUBCLASS OF Object_in_Room "
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and L(x, y) |= x <= 12";
+  Database serial_db = FreshDb(8);
+  EvalOptions base;
+  Evaluator serial_ev(&serial_db, base);
+  Result<ResultSet> serial = serial_ev.Execute(query);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  EvalOptions opts;
+  opts.threads = 8;
+  Database par_db = FreshDb(8);
+  Evaluator par_ev(&par_db, opts);
+  Result<ResultSet> parallel = par_ev.Execute(query);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(serial->ToString(), parallel->ToString());
+  EXPECT_EQ(serial_ev.created_classes(), par_ev.created_classes());
+  EXPECT_EQ(serial_db.ObjectCount(), par_db.ObjectCount());
+}
+
+// Thread counts beyond the binding count degrade gracefully (pool clamps
+// to the chunk count; empty chunks are legal).
+TEST_F(ParallelDiffTest, MoreThreadsThanBindings) {
+  Database serial_db = FreshDb(0);
+  EvalOptions base;
+  Result<ResultSet> serial =
+      Run(&serial_db, "SELECT O FROM Object_in_Room O", base);
+  ASSERT_TRUE(serial.ok());
+
+  EvalOptions opts;
+  opts.threads = 64;
+  Database par_db = FreshDb(0);
+  Result<ResultSet> parallel =
+      Run(&par_db, "SELECT O FROM Object_in_Room O", opts);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(Fingerprint(*serial), Fingerprint(*parallel));
+}
+
+}  // namespace
+}  // namespace lyric

@@ -17,15 +17,19 @@
 //   .profile QUERY       run QUERY with tracing: stage breakdown + counters
 //   .trace on PATH       write a Chrome trace JSON per query to PATH
 //   .trace off           stop writing traces
+//   .threads [N]         show or set evaluator worker threads (1 = serial)
+//   .cache [N|clear]     solver memo cache: stats, re-bound, or clear
 //   .load PATH / .save PATH
 //   .quit
 // Anything else is parsed as a LyriC query and evaluated.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "constraint/solver_cache.h"
 #include "obs/metrics.h"
 #include "office/office_db.h"
 #include "query/analyzer.h"
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
   std::string line;
   std::string pending;
   std::string trace_path;  // non-empty: write a Chrome trace per query
+  size_t threads = DefaultEvalThreads();  // worker threads per query
   while (true) {
     std::cout << (pending.empty() ? "lyric> " : "  ...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
@@ -132,13 +137,50 @@ int main(int argc, char** argv) {
                      "session\n  .profile QUERY       stage timings + counter "
                      "deltas for one query\n  .trace on PATH       write a "
                      "Chrome trace JSON per query to PATH\n  .trace off       "
-                     "    stop writing traces\n  anything else: a LyriC query "
-                     "ending in ';'\n";
+                     "    stop writing traces\n  .threads [N]         show or "
+                     "set evaluator worker threads (1 = serial;\n             "
+                     "          parallel results are byte-identical)\n"
+                     "  .cache [N|clear]     solver memo cache: show stats, "
+                     "re-bound to N\n                       entries (0 "
+                     "disables), or drop all entries\n  anything else: a "
+                     "LyriC query ending in ';'\n";
       } else if (cmd == ".stats") {
         std::cout << obs::Registry::Global().Snapshot().ToString();
+      } else if (cmd == ".threads") {
+        if (arg.empty()) {
+          std::cout << "threads = " << threads << "\n";
+        } else {
+          char* end = nullptr;
+          unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+          if (end == arg.c_str() || *end != '\0' || n == 0 || n > 64) {
+            std::cout << "usage: .threads N  (1..64)\n";
+          } else {
+            threads = static_cast<size_t>(n);
+            std::cout << "threads = " << threads
+                      << (threads == 1 ? " (serial)" : "") << "\n";
+          }
+        }
+      } else if (cmd == ".cache") {
+        SolverCache& cache = SolverCache::Global();
+        if (arg.empty()) {
+          std::cout << cache.stats().ToString() << "\n";
+        } else if (arg == "clear") {
+          cache.Clear();
+          std::cout << "cache cleared\n";
+        } else {
+          char* end = nullptr;
+          unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+          if (end == arg.c_str() || *end != '\0') {
+            std::cout << "usage: .cache | .cache CAPACITY | .cache clear\n";
+          } else {
+            cache.set_capacity(static_cast<size_t>(n));
+            std::cout << cache.stats().ToString() << "\n";
+          }
+        }
       } else if (cmd == ".profile") {
         EvalOptions opts;
         opts.collect_trace = true;
+        opts.threads = threads;
         Evaluator ev(&db, opts);
         auto r = ev.Execute(arg);
         if (!r.ok()) {
@@ -237,6 +279,7 @@ int main(int argc, char** argv) {
     if (line.find(';') == std::string::npos) continue;
     EvalOptions opts;
     opts.collect_trace = !trace_path.empty();
+    opts.threads = threads;
     Evaluator ev(&db, opts);
     auto r = ev.Execute(pending);
     pending.clear();
