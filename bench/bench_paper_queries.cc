@@ -103,5 +103,42 @@ BENCHMARK(BM_PaperQueryThreads)
     ->Arg(8)
     ->UseRealTime();
 
+// The same sweep with the resource governor armed at generous limits
+// (nothing trips; every cancellation checkpoint and accounting hook
+// runs). Wall time here vs BM_PaperQueryThreads at the same thread count
+// is the governor overhead the CI budget caps at 5% — both series land
+// in BENCH_parallel.json (the filter matches the shared prefix), so a
+// creeping checkpoint cost is visible run over run.
+void BM_PaperQueryThreadsGoverned(benchmark::State& state) {
+  Database db;
+  (void)office::BuildOfficeDatabase(&db);
+  (void)office::AddScaledDesks(&db, 48, /*seed=*/77);
+  const char* q =
+      "SELECT O FROM Object_in_Room O "
+      "WHERE O.location[L] and "
+      "L(x, y) |= (0 < x and x < 20 and 0 < y and y < 10)";
+  SolverCache::Global().Clear();
+  uint64_t trips = 0;
+  for (auto _ : state) {
+    EvalOptions opts;
+    opts.threads = static_cast<size_t>(state.range(0));
+    opts.deadline_ms = 600'000;
+    opts.memory_budget = 1ull << 40;
+    opts.max_pivots = 1ull << 40;
+    opts.max_disjuncts = 1ull << 40;
+    Evaluator ev(&db, opts);
+    auto r = ev.Execute(q);
+    benchmark::DoNotOptimize(r);
+    if (r.ok() && !r->governor_status().ok()) ++trips;
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  // Any trip at these limits is a governor bug; surface it in the output.
+  state.counters["governor_trips"] = static_cast<double>(trips);
+}
+BENCHMARK(BM_PaperQueryThreadsGoverned)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace lyric

@@ -4,6 +4,7 @@
 
 #include "constraint/simplex.h"
 #include "constraint/solver_cache.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -123,6 +124,7 @@ Result<Conjunction> SimplifyConjunctionUncached(const Conjunction& c,
 Result<Conjunction> Canonical::Simplify(const Conjunction& c,
                                         CanonicalLevel level) {
   LYRIC_OBS_COUNT("canonical.simplify_calls");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("canonical.simplify"));
   static obs::Timer& simplify_timer =
       obs::Registry::Global().GetTimer("canonical.simplify");
   obs::ScopedTimer scoped_timer(simplify_timer);

@@ -4,6 +4,7 @@
 
 #include "constraint/fourier_motzkin.h"
 #include "constraint/simplex.h"
+#include "exec/governor.h"
 
 namespace lyric {
 
@@ -20,6 +21,11 @@ bool Dnf::IsTrue() const {
 
 void Dnf::AddDisjunct(Conjunction c) {
   if (c.HasConstantFalse()) return;
+  // Every materialized disjunct passes through here, so this is the one
+  // choke point for the governor's max_disjuncts cap. Once tripped we
+  // stop growing the formula — the truncated Dnf never escapes because
+  // every Result-bearing consumer re-checks the token before returning.
+  if (exec::AccountDisjuncts(1, "dnf.add_disjunct")) return;
   disjuncts_.push_back(std::move(c));
 }
 
@@ -32,6 +38,7 @@ Dnf Dnf::Or(const Dnf& o) const {
 Dnf Dnf::And(const Dnf& o) const {
   Dnf out;
   for (const Conjunction& a : disjuncts_) {
+    if (exec::CancellationRequested()) break;  // Product blowup; stop early.
     for (const Conjunction& b : o.disjuncts_) {
       out.AddDisjunct(a.Conjoin(b));
     }
@@ -59,6 +66,7 @@ Dnf Dnf::Negate() const {
   if (disjuncts_.empty()) return True();
   Dnf out = NegateConjunction(disjuncts_[0]);
   for (size_t i = 1; i < disjuncts_.size(); ++i) {
+    if (exec::CancellationRequested()) break;  // Exponential; stop early.
     out = out.And(NegateConjunction(disjuncts_[i]));
   }
   return out;
@@ -67,12 +75,18 @@ Dnf Dnf::Negate() const {
 Dnf Dnf::SplitDisequalities() const {
   Dnf out;
   for (const Conjunction& c : disjuncts_) {
+    if (exec::CancellationRequested()) break;  // 2^k split; stop early.
     // Peel disequalities one by one, doubling the local disjunct list.
     std::vector<Conjunction> pending{Conjunction()};
     for (const LinearConstraint& atom : c.atoms()) {
       if (!atom.IsDisequality()) {
         for (Conjunction& p : pending) p.Add(atom);
         continue;
+      }
+      // The doubling happens here, before AddDisjunct sees the pieces, so
+      // charge it against the disjunct cap directly.
+      if (exec::AccountDisjuncts(pending.size(), "dnf.split_disequalities")) {
+        break;
       }
       LinearConstraint lt(atom.lhs(), RelOp::kLt);
       LinearConstraint gt(-atom.lhs(), RelOp::kLt);
@@ -186,6 +200,7 @@ Dnf Dnf::Rename(const std::map<VarId, VarId>& renaming) const {
 }
 
 Result<bool> Dnf::Satisfiable() const {
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("dnf.satisfiable"));
   for (const Conjunction& c : disjuncts_) {
     LYRIC_ASSIGN_OR_RETURN(bool sat, Simplex::IsSatisfiable(c));
     if (sat) return true;
@@ -194,6 +209,7 @@ Result<bool> Dnf::Satisfiable() const {
 }
 
 Result<std::optional<Assignment>> Dnf::FindPoint() const {
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("dnf.find_point"));
   for (const Conjunction& c : disjuncts_) {
     LYRIC_ASSIGN_OR_RETURN(std::optional<Assignment> pt,
                            Simplex::FindPoint(c));

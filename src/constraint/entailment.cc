@@ -2,6 +2,7 @@
 
 #include "constraint/simplex.h"
 #include "constraint/solver_cache.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -34,6 +35,10 @@ Result<bool> SatWithClauses(const Conjunction& base,
 Result<bool> Entailment::ConjunctionEntails(const Conjunction& lhs,
                                             const Dnf& rhs) {
   LYRIC_OBS_COUNT("entailment.checks");
+  // The DPLL recursion below checks the token through every
+  // Simplex::IsSatisfiable call; a trip propagates out as an error before
+  // the verdict reaches StoreEntails.
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("entailment.entails"));
   SolverCache& cache = SolverCache::Global();
   if (std::optional<bool> cached = cache.LookupEntails(lhs, rhs)) {
     return *cached;

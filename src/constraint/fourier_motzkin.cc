@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "constraint/simplex.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -55,6 +56,14 @@ Conjunction EliminateStep(const Conjunction& c, VarId var) {
     }
   }
   LYRIC_OBS_COUNT_N("fm.atoms_generated", lowers.size() * uppers.size());
+  // The lowers*uppers product is the quadratic (per step, exponential per
+  // projection) blowup; charge it against the governor's memory budget and
+  // stop generating once tripped — ProjectOnto's checkpoint reports it.
+  if (exec::AccountKernelMemory(
+          lowers.size() * uppers.size() * sizeof(LinearConstraint),
+          "fm.eliminate")) {
+    return out;
+  }
   for (const auto& [lo, lo_strict] : lowers) {
     for (const auto& [up, up_strict] : uppers) {
       // lo (<|<=) var (<|<=) up  =>  lo - up (<|<=) 0.
@@ -95,8 +104,10 @@ VarSet FourierMotzkin::VarsToEliminate(const Conjunction& c,
 
 Result<Conjunction> FourierMotzkin::EliminateVariable(const Conjunction& c,
                                                       VarId var) {
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("fm.eliminate"));
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarSet{var}));
   Conjunction out = EliminateStep(c, var);
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("fm.eliminate"));
   size_t before_dedupe = out.size();
   out.SortAndDedupe();
   LYRIC_OBS_COUNT_N("fm.atoms_dropped", before_dedupe - out.size());
@@ -106,6 +117,7 @@ Result<Conjunction> FourierMotzkin::EliminateVariable(const Conjunction& c,
 Result<Conjunction> FourierMotzkin::ProjectOntoAtMostOne(
     const Conjunction& c, std::optional<VarId> keep) {
   LYRIC_OBS_COUNT("fm.lp_projections");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("fm.lp_projection"));
   VarSet keep_set;
   if (keep.has_value()) keep_set.insert(*keep);
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, VarsToEliminate(c, keep_set)));
@@ -152,6 +164,9 @@ Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, elim));
   Conjunction cur = c;
   while (!elim.empty()) {
+    // One check per eliminated variable bounds governed projections: the
+    // blowup is across steps (each step can square the atom count).
+    LYRIC_RETURN_NOT_OK(exec::CheckCancellation("fm.project"));
     // Re-derive which of the remaining targets still occur.
     VarSet free = cur.FreeVars();
     VarId best = *elim.begin();
@@ -186,6 +201,7 @@ Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
     elim.erase(best);
     if (cur.HasConstantFalse()) return Conjunction::False();
   }
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("fm.project"));
   return cur;
 }
 

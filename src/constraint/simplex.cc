@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "constraint/solver_cache.h"
+#include "exec/governor.h"
 #include "obs/metrics.h"
 
 namespace lyric {
@@ -60,6 +61,11 @@ class CoreLp {
     static obs::Timer& solve_timer =
         obs::Registry::Global().GetTimer("simplex.solve");
     obs::ScopedTimer scoped_timer(solve_timer);
+    // The tableau (rows + artificials) is the dominant transient
+    // allocation; charge it against the governor's memory budget.
+    exec::AccountKernelMemory(
+        rows_.size() * (num_cols_ + rows_.size()) * sizeof(Rational),
+        "simplex.tableau");
     // Normalize rhs >= 0.
     for (size_t i = 0; i < rows_.size(); ++i) {
       if (rhs_[i].IsNegative()) {
@@ -154,6 +160,16 @@ class CoreLp {
     const size_t bland_after = 20 * (rows_.size() + entering_limit) + 200;
     size_t iterations = 0;
     for (;;) {
+      // Cooperative cancellation: pivots are counted per iteration and
+      // the wall clock sampled every 64. On a trip we bail with a dummy
+      // status — the governed public entry points re-check the token
+      // before publishing, so this value never escapes.
+      if (exec::AccountPivots(1, "simplex.run") ||
+          ((iterations & 63) == 0 &&
+           exec::GovernorScope::Current() != nullptr &&
+           exec::GovernorScope::Current()->CheckDeadline("simplex.run"))) {
+        return LpStatus::kInfeasible;
+      }
       iteration_counter->Increment();
       size_t enter = entering_limit;
       if (iterations++ < bland_after) {
@@ -430,6 +446,7 @@ bool ClosedEntailsZero(const SplitAtoms& closure, const LinearExpr& expr) {
 
 Result<bool> Simplex::IsSatisfiable(const Conjunction& c) {
   LYRIC_OBS_COUNT("simplex.calls.is_satisfiable");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.is_satisfiable"));
   SolverCache& cache = SolverCache::Global();
   if (std::optional<bool> cached = cache.LookupSat(c)) return *cached;
   bool sat = [&] {
@@ -445,12 +462,16 @@ Result<bool> Simplex::IsSatisfiable(const Conjunction& c) {
     }
     return true;
   }();
+  // A tripped run may have bailed mid-solve: report the trip and never
+  // store the (possibly bogus) verdict.
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.is_satisfiable"));
   cache.StoreSat(c, sat);
   return sat;
 }
 
 Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {
   LYRIC_OBS_COUNT("simplex.calls.find_point");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.find_point"));
   LYRIC_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(c));
   if (!sat) return std::optional<Assignment>();
 
@@ -490,6 +511,9 @@ Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {
       }
     }
     if (pick.status != LpStatus::kOptimal || pick.value.IsZero()) {
+      // A governed run may have bailed out of the witness LP mid-solve;
+      // report the trip rather than a spurious internal error.
+      LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.find_point"));
       return Status::Internal("FindPoint: no witness for disequality " +
                               d.ToString());
     }
@@ -543,12 +567,14 @@ Result<std::optional<Assignment>> Simplex::FindPoint(const Conjunction& c) {
       }
     }
   }
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.find_point"));
   return std::optional<Assignment>(std::move(x));
 }
 
 Result<LpSolution> Simplex::Maximize(const LinearExpr& objective,
                                      const Conjunction& c) {
   LYRIC_OBS_COUNT("simplex.calls.maximize");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.maximize"));
   LpSolution out;
   {
     // Fast path: a closed system (no strict atoms, no disequalities) needs
@@ -556,6 +582,7 @@ Result<LpSolution> Simplex::Maximize(const LinearExpr& objective,
     SplitAtoms atoms = Split(c);
     if (atoms.strict.empty() && atoms.diseq.empty()) {
       ClosedLpResult r = SolveClosed(atoms, objective, true, false);
+      LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.maximize"));
       out.status = r.status;
       if (r.status == LpStatus::kOptimal) {
         out.value = r.value;
@@ -578,6 +605,7 @@ Result<LpSolution> Simplex::Maximize(const LinearExpr& objective,
     return out;
   }
   if (r.status != LpStatus::kOptimal) {
+    LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.maximize"));
     return Status::Internal("closure infeasible after sat check");
   }
   out.status = LpStatus::kOptimal;
@@ -607,13 +635,16 @@ Result<LpSolution> Simplex::Minimize(const LinearExpr& objective,
 Result<bool> Simplex::EntailsZero(const Conjunction& c,
                                   const LinearExpr& expr) {
   LYRIC_OBS_COUNT("simplex.calls.entails_zero");
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.entails_zero"));
   SplitAtoms atoms = Split(c);
   // If c itself is unsatisfiable, entailment holds vacuously.
   LYRIC_ASSIGN_OR_RETURN(bool sat, IsSatisfiable(c));
   if (!sat) return true;
   // With c satisfiable, disequalities cannot change the entailment (the
   // punctured set and its closure entail the same linear equalities).
-  return ClosedEntailsZero(ClosureAtoms(atoms), expr);
+  bool entails = ClosedEntailsZero(ClosureAtoms(atoms), expr);
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("simplex.entails_zero"));
+  return entails;
 }
 
 }  // namespace lyric

@@ -5,10 +5,18 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 namespace lyric {
 
 namespace {
+
+// Simulated cache failure: lookups miss and stores drop. Safe by
+// construction — every caller treats a miss as "recompute" — so the
+// fault gate can hammer this site and only performance may change.
+bool CacheFault() {
+  return fault::Enabled() && fault::Inject(fault::kSiteSolverCache);
+}
 
 size_t HashCombine(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
@@ -178,7 +186,7 @@ void SolverCache::StoreEntry(Entry entry) {
 }
 
 std::optional<bool> SolverCache::LookupSat(const Conjunction& c) {
-  if (!enabled()) return std::nullopt;
+  if (!enabled() || CacheFault()) return std::nullopt;
   Key key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
@@ -195,7 +203,7 @@ std::optional<bool> SolverCache::LookupSat(const Conjunction& c) {
 }
 
 void SolverCache::StoreSat(const Conjunction& c, bool sat) {
-  if (!enabled()) return;
+  if (!enabled() || CacheFault()) return;
   Entry entry;
   entry.key = Key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()};
   entry.hash = BucketHash(entry.key);
@@ -205,7 +213,7 @@ void SolverCache::StoreSat(const Conjunction& c, bool sat) {
 
 std::optional<Conjunction> SolverCache::LookupCanonical(
     const Conjunction& c, CanonicalLevel level) {
-  if (!enabled()) return std::nullopt;
+  if (!enabled() || CacheFault()) return std::nullopt;
   Key key{Kind::kCanonical, level, c, Dnf()};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
@@ -223,7 +231,7 @@ std::optional<Conjunction> SolverCache::LookupCanonical(
 
 void SolverCache::StoreCanonical(const Conjunction& c, CanonicalLevel level,
                                  const Conjunction& result) {
-  if (!enabled()) return;
+  if (!enabled() || CacheFault()) return;
   Entry entry;
   entry.key = Key{Kind::kCanonical, level, c, Dnf()};
   entry.hash = BucketHash(entry.key);
@@ -233,7 +241,7 @@ void SolverCache::StoreCanonical(const Conjunction& c, CanonicalLevel level,
 
 std::optional<bool> SolverCache::LookupEntails(const Conjunction& lhs,
                                                const Dnf& rhs) {
-  if (!enabled()) return std::nullopt;
+  if (!enabled() || CacheFault()) return std::nullopt;
   Key key{Kind::kEntails, CanonicalLevel::kSyntactic, lhs, rhs};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
@@ -251,7 +259,7 @@ std::optional<bool> SolverCache::LookupEntails(const Conjunction& lhs,
 
 void SolverCache::StoreEntails(const Conjunction& lhs, const Dnf& rhs,
                                bool holds) {
-  if (!enabled()) return;
+  if (!enabled() || CacheFault()) return;
   Entry entry;
   entry.key = Key{Kind::kEntails, CanonicalLevel::kSyntactic, lhs, rhs};
   entry.hash = BucketHash(entry.key);

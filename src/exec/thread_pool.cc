@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 namespace lyric {
 namespace exec {
@@ -28,6 +29,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Simulated scheduling failure: degrade to inline execution on the
+  // caller. Correctness is unaffected — chunk tasks are independent and
+  // the latch still counts down — only parallelism is lost.
+  if (fault::Enabled() && fault::Inject(fault::kSiteThreadPool)) {
+    LYRIC_OBS_COUNT("exec.tasks_inline_degraded");
+    task();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

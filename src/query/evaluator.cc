@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "constraint/solver_cache.h"
+#include "exec/governor.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -98,6 +99,14 @@ Result<LpSolution> MaximizeDe(const DisjunctiveExistential& de,
     best.value = -best.value;
   }
   return best;
+}
+
+// Converts a governor trip into the partial-result contract: the typed
+// Status and the usage report ride on the (OK) ResultSet.
+ResultSet GovernedPartial(ResultSet out, exec::CancellationToken& token) {
+  LYRIC_OBS_COUNT("evaluator.governor_trips");
+  out.set_governor(token.ToStatus(), token.Report());
+  return out;
 }
 
 }  // namespace
@@ -525,6 +534,24 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   }
   std::set<std::string> declared = CollectDeclaredVars(query, *db_);
 
+  // Arm the resource governor when any limit is configured — after the
+  // pre-flight, so limits govern data-dependent evaluation and cannot
+  // trip inside the (bounded) static analysis. The token lives on this
+  // frame and outlives every worker (ExecuteParallel joins before
+  // returning); the scope makes it ambient for the kernels on this
+  // thread, and workers re-install it inside their chunk tasks.
+  exec::GovernorLimits limits;
+  limits.deadline_ms = options_.deadline_ms;
+  limits.memory_budget = options_.memory_budget;
+  limits.max_pivots = options_.max_pivots;
+  limits.max_disjuncts = options_.max_disjuncts;
+  std::optional<exec::CancellationToken> token;
+  std::optional<exec::GovernorScope> governor_scope;
+  if (limits.Any()) {
+    token.emplace(limits);
+    governor_scope.emplace(&*token);
+  }
+
   // Column names.
   std::vector<std::string> columns;
   for (const ast::SelectItem& item : query.select) {
@@ -557,10 +584,22 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   }
 
   for (const Binding& base : bindings) {
+    // Governed scans check the token between bindings so queries whose
+    // per-binding work never enters a kernel still cancel promptly.
+    if (token.has_value()) {
+      token->CheckDeadline("evaluator.scan");
+      if (token->stopped()) return GovernedPartial(std::move(out), *token);
+      token->AccountBinding();
+    }
     BindingOutcome outcome = EvalOneBinding(query, base, declared);
-    LYRIC_ASSIGN_OR_RETURN(bool keep_going,
-                           CommitOutcome(query, std::move(outcome), &out));
-    if (!keep_going) return out;
+    Result<bool> keep_going = CommitOutcome(query, std::move(outcome), &out);
+    if (!keep_going.ok()) {
+      if (token.has_value() && keep_going.status().IsGovernorTrip()) {
+        return GovernedPartial(std::move(out), *token);
+      }
+      return keep_going.status();
+    }
+    if (!*keep_going) return out;
   }
   return out;
 }
@@ -647,17 +686,27 @@ Result<ResultSet> Evaluator::ExecuteParallel(
   // between bindings and skip the remaining work (their chunks merge as
   // empty, which the merge loop never reaches).
   std::atomic<bool> cancel{false};
+  // The query thread's governor token (if any); workers re-install it so
+  // the kernels they run observe the same limits, and a trip on any
+  // worker promptly stops all of them.
+  exec::CancellationToken* token = exec::GovernorScope::Current();
   {
     exec::ThreadPool pool(std::min(threads, num_chunks));
     for (size_t ci = 0; ci < num_chunks; ++ci) {
       pool.Submit([this, &query, &declared, &bindings, &chunk_results,
-                   &latch, &cancel, ci, chunk_size] {
+                   &latch, &cancel, token, ci, chunk_size] {
+        exec::GovernorScope worker_scope(token);
         const size_t begin = ci * chunk_size;
         const size_t end = std::min(begin + chunk_size, bindings.size());
         std::vector<BindingOutcome>& results = chunk_results[ci];
         results.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
           if (cancel.load(std::memory_order_relaxed)) break;
+          if (token != nullptr) {
+            token->CheckDeadline("evaluator.worker");
+            if (token->stopped()) break;
+            token->AccountBinding();
+          }
           results.push_back(EvalOneBinding(query, bindings[i], declared));
         }
         latch.Done(ci);
@@ -680,6 +729,13 @@ Result<ResultSet> Evaluator::ExecuteParallel(
               CommitOutcome(query, std::move(outcome), &out);
           if (!keep_going.ok()) {
             cancel.store(true, std::memory_order_relaxed);
+            if (token != nullptr && keep_going.status().IsGovernorTrip()) {
+              // The merged prefix committed so far is valid; convert the
+              // trip into the partial-result contract. The Status is the
+              // token's sticky trip record, so serial and parallel runs
+              // of the same query report the identical code and message.
+              return GovernedPartial(std::move(out), *token);
+            }
             return keep_going.status();
           }
           if (!*keep_going) {
@@ -687,6 +743,13 @@ Result<ResultSet> Evaluator::ExecuteParallel(
             return std::move(out);
           }
         }
+      }
+      if (token != nullptr && token->stopped()) {
+        // Workers stopped between bindings without any outcome carrying
+        // the trip status (e.g. a deadline expiring during the scan of a
+        // kernel-free query): the merge saw only OK outcomes, but the
+        // result is still a prefix.
+        return GovernedPartial(std::move(out), *token);
       }
       return std::move(out);
     }();

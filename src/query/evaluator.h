@@ -15,9 +15,11 @@
 #ifndef LYRIC_QUERY_EVALUATOR_H_
 #define LYRIC_QUERY_EVALUATOR_H_
 
+#include <cstdint>
 #include <optional>
 
 #include "constraint/canonical.h"
+#include "exec/governor.h"
 #include "object/database.h"
 #include "query/ast.h"
 #include "query/binding.h"
@@ -67,6 +69,24 @@ struct EvalOptions {
   /// (entries; 0 disables memoization). Unset leaves the global
   /// configuration (LYRIC_CACHE_CAPACITY env, default 4096) alone.
   std::optional<size_t> cache_capacity;
+  /// -- Resource governor (docs/ROBUSTNESS.md) -------------------------
+  /// Per-query limits, enforced cooperatively by the constraint kernels.
+  /// A trip never fails the query: Execute returns an OK Result whose
+  /// ResultSet carries the partial rows, the typed trip Status
+  /// (kDeadlineExceeded / kResourceExhausted via governor_status()) and a
+  /// GovernorReport of the progress made. All four default from the
+  /// environment (LYRIC_DEADLINE_MS, LYRIC_MEMORY_BUDGET); unset means
+  /// unlimited, and with no limit set the governor costs nothing.
+  /// Wall-clock deadline for the whole query, in milliseconds.
+  std::optional<uint64_t> deadline_ms =
+      exec::GovernorLimits::FromEnv().deadline_ms;
+  /// Budget in bytes for kernel-accounted transient allocations.
+  std::optional<uint64_t> memory_budget =
+      exec::GovernorLimits::FromEnv().memory_budget;
+  /// Cap on total simplex pivots across the query.
+  std::optional<uint64_t> max_pivots;
+  /// Cap on total DNF disjuncts materialized across the query.
+  std::optional<uint64_t> max_disjuncts;
 };
 
 /// Executes LyriC queries against a Database.

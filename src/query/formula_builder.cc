@@ -1,5 +1,6 @@
 #include "query/formula_builder.h"
 
+#include "exec/governor.h"
 #include "query/path_walker.h"
 
 namespace lyric {
@@ -300,7 +301,12 @@ Result<DisjunctiveExistential> FormulaBuilder::Build(
   IdentityUses ids;
   LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential out,
                          BuildNode(formula, binding, &ids));
-  return ApplyIdentityEqualities(std::move(out), ids);
+  out = ApplyIdentityEqualities(std::move(out), ids);
+  // Building a formula DNF-expands ANDs of ORs (the non-Result Dnf::And
+  // product); a governed build that tripped max_disjuncts truncated that
+  // expansion, so surface the trip before the formula escapes.
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("formula_builder.build"));
+  return out;
 }
 
 Result<CstObject> FormulaBuilder::BuildProjectionObject(
@@ -313,6 +319,7 @@ Result<CstObject> FormulaBuilder::BuildProjectionObject(
   LYRIC_ASSIGN_OR_RETURN(DisjunctiveExistential body,
                          BuildNode(*formula.children[0], binding, &ids));
   body = ApplyIdentityEqualities(std::move(body), ids);
+  LYRIC_RETURN_NOT_OK(exec::CheckCancellation("formula_builder.projection"));
   std::vector<VarId> interface_vars;
   for (const std::string& v : formula.proj_vars) {
     interface_vars.push_back(Variable::Intern(v));

@@ -1,5 +1,7 @@
 #include "query/path_walker.h"
 
+#include "exec/governor.h"
+
 namespace lyric {
 
 namespace {
@@ -163,6 +165,9 @@ Result<std::vector<PathResult>> WalkPath(
 
   std::vector<WalkState> states{std::move(start)};
   for (const ast::PathExpr::Step& step : path.steps) {
+    // Attribute-variable enumeration can fan the state set out by the
+    // schema width at every step; keep governed walks cancellable.
+    LYRIC_RETURN_NOT_OK(exec::CheckCancellation("path_walker.step"));
     std::vector<WalkState> next;
     for (WalkState& state : states) {
       // Which attribute names apply at this step?

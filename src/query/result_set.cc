@@ -42,6 +42,10 @@ std::string ResultSet::ToString() const {
   }
   out += "(" + std::to_string(rows_.size()) + " row" +
          (rows_.size() == 1 ? "" : "s") + ")";
+  if (!governor_status_.ok()) {
+    out += "\n-- PARTIAL: " + governor_status_.ToString();
+    out += "\n-- " + governor_report_.ToString();
+  }
   return out;
 }
 

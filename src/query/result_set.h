@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "exec/governor.h"
 #include "object/oid.h"
 #include "obs/profile.h"
 #include "query/diagnostics.h"
+#include "util/status.h"
 
 namespace lyric {
 
@@ -62,12 +64,27 @@ class ResultSet {
     diagnostics_ = std::move(diagnostics);
   }
 
+  /// OK unless a governed evaluation tripped a resource limit
+  /// (kDeadlineExceeded / kResourceExhausted). When set, the rows present
+  /// are partial progress — a prefix of the serial answer — and
+  /// governor_report() carries the usage diagnostics.
+  const Status& governor_status() const { return governor_status_; }
+  const exec::GovernorReport& governor_report() const {
+    return governor_report_;
+  }
+  void set_governor(Status status, exec::GovernorReport report) {
+    governor_status_ = std::move(status);
+    governor_report_ = std::move(report);
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<Oid>> rows_;
   bool truncated_ = false;
   std::shared_ptr<const obs::QueryProfile> profile_;
   std::vector<Diagnostic> diagnostics_;
+  Status governor_status_ = Status::OK();
+  exec::GovernorReport governor_report_;
 };
 
 }  // namespace lyric

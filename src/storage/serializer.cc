@@ -6,6 +6,7 @@
 #include "query/formula_builder.h"
 #include "query/lexer.h"
 #include "query/parser.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace lyric {
@@ -348,12 +349,24 @@ Status Serializer::LoadDatabase(const std::string& text, Database* db) {
     return Status::InvalidArgument(
         "LoadDatabase requires an empty database");
   }
+  if (fault::Enabled() && fault::Inject(fault::kSiteSerializer)) {
+    return Status::Internal("injected fault: serializer load");
+  }
   LYRIC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
-  Loader loader(std::move(tokens), db);
-  return loader.Run();
+  // Parse into a scratch database so a truncated or corrupted dump
+  // rejects cleanly: the caller's database is only touched after the
+  // whole payload parsed and applied (all-or-nothing).
+  Database scratch;
+  Loader loader(std::move(tokens), &scratch);
+  LYRIC_RETURN_NOT_OK(loader.Run());
+  *db = std::move(scratch);
+  return Status::OK();
 }
 
 Status Serializer::SaveToFile(const Database& db, const std::string& path) {
+  if (fault::Enabled() && fault::Inject(fault::kSiteSerializer)) {
+    return Status::Internal("injected fault: serializer save");
+  }
   LYRIC_ASSIGN_OR_RETURN(std::string text, DumpDatabase(db));
   std::ofstream out(path);
   if (!out) {

@@ -1,0 +1,66 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks recoverable failure points with fault::Inject:
+//
+//   if (fault::Inject(fault::kSite_SolverCache)) return std::nullopt;
+//
+// In normal operation every call is a single relaxed atomic load (the
+// injector is disabled) — the sites cost nothing on hot paths. Tests and
+// the fault-injection ctest gate enable sites via the LYRIC_FAULT
+// environment variable or ConfigureForTesting:
+//
+//   LYRIC_FAULT=<site>:<prob>[:<seed>][,<site>:<prob>[:<seed>]...]
+//   LYRIC_FAULT=solver_cache:0.25:42,serializer:1.0
+//
+// Decisions are deterministic given (site, seed, call index): each site
+// keeps an atomic call counter and hashes (seed, index) through
+// splitmix64, so a run with one thread replays identically and a
+// multi-threaded run injects the same *set* of decisions regardless of
+// interleaving. Injections are counted in the obs metrics registry as
+// "fault.injected.<site>".
+//
+// Sites (see docs/ROBUSTNESS.md for the failure each one simulates):
+//   solver_cache  lookups miss / stores drop (recompute paths)
+//   serializer    load/save fail with an injected Status
+//   thread_pool   Submit degrades to inline execution on the caller
+//   alloc         kernel memory accounting trips the governor budget
+//   shell         lyric_shell statement loop throws (exception hardening)
+
+#ifndef LYRIC_UTIL_FAULT_H_
+#define LYRIC_UTIL_FAULT_H_
+
+#include <string>
+
+namespace lyric {
+namespace fault {
+
+/// Canonical site names (shared by production sites and tests).
+inline constexpr const char* kSiteSolverCache = "solver_cache";
+inline constexpr const char* kSiteSerializer = "serializer";
+inline constexpr const char* kSiteThreadPool = "thread_pool";
+inline constexpr const char* kSiteAlloc = "alloc";
+inline constexpr const char* kSiteShell = "shell";
+
+/// True when any site is armed (cheap: one relaxed atomic load). Callers
+/// on hot paths may use this to skip building arguments.
+bool Enabled();
+
+/// Returns true when the named site should fail this call. Always false
+/// when the injector is disabled or the site is not configured.
+bool Inject(const char* site);
+
+/// Replaces the configuration with `spec` (same grammar as LYRIC_FAULT;
+/// empty disables everything). Resets per-site call counters. Tests only —
+/// not safe concurrently with in-flight Inject calls on other threads.
+/// Returns false (leaving the previous config) when `spec` is malformed.
+bool ConfigureForTesting(const std::string& spec);
+
+/// Loads the configuration from the LYRIC_FAULT environment variable.
+/// Called lazily by the first Enabled()/Inject(); exposed for tools that
+/// want the parse error reported eagerly.
+void InitFromEnv();
+
+}  // namespace fault
+}  // namespace lyric
+
+#endif  // LYRIC_UTIL_FAULT_H_

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "arithmetic-error";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

@@ -34,6 +34,11 @@ enum class StatusCode : int {
   kArithmeticError = 7,
   /// Internal invariant violated; indicates a library bug.
   kInternal = 8,
+  /// A per-query wall-clock deadline expired before evaluation finished.
+  kDeadlineExceeded = 9,
+  /// A per-query resource budget (memory, simplex pivots, DNF disjuncts)
+  /// was exhausted; the query was stopped to protect the process.
+  kResourceExhausted = 10,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -80,6 +85,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -103,6 +114,17 @@ class Status {
     return code() == StatusCode::kArithmeticError;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  /// True for the two query-governor trip codes (the statuses a governed
+  /// evaluation converts into a partial ResultSet instead of an error).
+  bool IsGovernorTrip() const {
+    return IsDeadlineExceeded() || IsResourceExhausted();
+  }
 
   /// "OK" or "<code-name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,161 @@
+// Int64 fast-path overflow audit (PR 4): every BigInt operator with a
+// small-representation fast path must detect intermediate overflow and
+// route through the limb slow path, and Rational must stay exact when
+// cross-multiplication leaves int64 range. These tests pin the behavior
+// at the INT64_MAX / INT64_MIN boundaries; the audit found the binary
+// operators already guard via __int128 (FitsInt64) and the unary /
+// division / gcd paths exclude INT64_MIN — run under UBSan in CI, any
+// regression to unchecked int64 arithmetic fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "arith/bigint.h"
+#include "arith/rational.h"
+#include "constraint/conjunction.h"
+#include "constraint/fourier_motzkin.h"
+#include "constraint/linear_constraint.h"
+#include "constraint/linear_expr.h"
+#include "constraint/simplex.h"
+#include "constraint/variable.h"
+
+namespace lyric {
+namespace {
+
+constexpr int64_t kMax = INT64_MAX;
+constexpr int64_t kMin = INT64_MIN;
+
+TEST(ArithOverflowTest, AdditionPromotesAtTheBoundary) {
+  BigInt sum = BigInt(kMax) + BigInt(1);
+  EXPECT_FALSE(sum.IsSmallRep());
+  EXPECT_EQ(sum.ToString(), "9223372036854775808");
+  EXPECT_FALSE(sum.ToInt64().ok());
+
+  // Near-boundary sums that still fit stay small and exact.
+  BigInt fits = BigInt(kMax - 1) + BigInt(1);
+  EXPECT_TRUE(fits.IsSmallRep());
+  EXPECT_EQ(fits.ToInt64().value(), kMax);
+}
+
+TEST(ArithOverflowTest, SubtractionPromotesBelowMin) {
+  BigInt diff = BigInt(kMin) - BigInt(1);
+  EXPECT_FALSE(diff.IsSmallRep());
+  EXPECT_EQ(diff.ToString(), "-9223372036854775809");
+  EXPECT_EQ((diff + BigInt(1)).ToInt64().value(), kMin);
+}
+
+TEST(ArithOverflowTest, MultiplicationPromotesAndStaysExact) {
+  BigInt prod = BigInt(kMax) * BigInt(kMax);
+  EXPECT_FALSE(prod.IsSmallRep());
+  EXPECT_EQ(prod.ToString(), "85070591730234615847396907784232501249");
+  // (max * max) / max == max round-trips through the slow path.
+  EXPECT_EQ((prod / BigInt(kMax)).ToInt64().value(), kMax);
+  EXPECT_TRUE((prod % BigInt(kMax)).IsZero());
+}
+
+TEST(ArithOverflowTest, NegationOfMinPromotes) {
+  BigInt neg = -BigInt(kMin);
+  EXPECT_FALSE(neg.IsSmallRep());
+  EXPECT_EQ(neg.ToString(), "9223372036854775808");
+  // Negating back re-enters the small representation.
+  BigInt back = -neg;
+  EXPECT_TRUE(back.IsSmallRep());
+  EXPECT_EQ(back.ToInt64().value(), kMin);
+  EXPECT_EQ(BigInt(kMin).Abs().ToString(), "9223372036854775808");
+}
+
+TEST(ArithOverflowTest, DivisionMinByMinusOnePromotes) {
+  BigInt q = BigInt(kMin) / BigInt(-1);
+  EXPECT_FALSE(q.IsSmallRep());
+  EXPECT_EQ(q.ToString(), "9223372036854775808");
+  EXPECT_TRUE((BigInt(kMin) % BigInt(-1)).IsZero());
+}
+
+TEST(ArithOverflowTest, GcdHandlesMinWithoutNegatingInInt64) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(kMin), BigInt(kMin)).ToString(),
+            "9223372036854775808");
+  EXPECT_EQ(BigInt::Gcd(BigInt(kMin), BigInt(2)).ToInt64().value(), 2);
+  EXPECT_EQ(BigInt::Gcd(BigInt(2), BigInt(kMin)).ToInt64().value(), 2);
+  EXPECT_EQ(BigInt::Gcd(BigInt(kMin), BigInt(0)).ToString(),
+            "9223372036854775808");
+}
+
+TEST(ArithOverflowTest, DemotionAfterRoundTripKeepsHashAndEquality) {
+  BigInt big = (BigInt(kMax) + BigInt(1)) - BigInt(1);
+  EXPECT_TRUE(big.IsSmallRep());
+  EXPECT_EQ(big, BigInt(kMax));
+  EXPECT_EQ(big.Hash(), BigInt(kMax).Hash());
+}
+
+TEST(ArithOverflowTest, RationalNormalizesNegativeMinDenominator) {
+  // 1/min: normalization negates num and den; -min must promote, not
+  // wrap to min again.
+  Rational r{BigInt(1), BigInt(kMin)};
+  EXPECT_EQ(r.ToString(), "-1/9223372036854775808");
+  Rational whole{BigInt(kMin), BigInt(kMin)};
+  EXPECT_EQ(whole.ToString(), "1");
+}
+
+TEST(ArithOverflowTest, RationalArithmeticCrossesInt64Exactly) {
+  Rational max{BigInt(kMax), BigInt(1)};
+  EXPECT_EQ((max + max).ToString(), "18446744073709551614");
+  // max/(max-1) * (max-1)/max cancels exactly through big intermediates.
+  Rational a{BigInt(kMax), BigInt(kMax - 1)};
+  Rational b{BigInt(kMax - 1), BigInt(kMax)};
+  EXPECT_EQ((a * b).ToString(), "1");
+  // Comparison cross-multiplies (max * max territory) without wrapping.
+  Rational c{BigInt(kMax), BigInt(kMax - 1)};
+  Rational d{BigInt(kMax - 1), BigInt(kMax - 2)};
+  EXPECT_LT(c, d);
+  EXPECT_GT(d, c);
+}
+
+TEST(ArithOverflowTest, FromStringBeyondInt64RoundTrips) {
+  auto v = BigInt::FromString("-170141183460469231731687303715884105728");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), "-170141183460469231731687303715884105728");
+  auto max_plus = BigInt::FromString("9223372036854775808");
+  ASSERT_TRUE(max_plus.ok());
+  EXPECT_FALSE(max_plus->IsSmallRep());
+  EXPECT_EQ(*max_plus - BigInt(1), BigInt(kMax));
+}
+
+// End to end: constraint solving with near-INT64_MAX coefficients stays
+// exact — the simplex tableau multiplies coefficients, so any unchecked
+// fast path would silently change the polyhedron.
+TEST(ArithOverflowTest, SimplexStaysExactWithHugeCoefficients) {
+  VarId x = Variable::Intern("ovf_x");
+  VarId y = Variable::Intern("ovf_y");
+  Rational big{BigInt(kMax - 1), BigInt(1)};
+
+  // { big*x <= big, x >= 1 } forces x == 1; adding big*x >= big + 1 is
+  // infeasible only if the arithmetic is exact at the boundary.
+  Conjunction feasible;
+  feasible.Add(LinearConstraint::Le(
+      LinearExpr::Term(big, x), LinearExpr::Constant(big)));
+  feasible.Add(LinearConstraint::Ge(LinearExpr::Var(x),
+                                    LinearExpr::Constant(Rational(1))));
+  EXPECT_TRUE(Simplex::IsSatisfiable(feasible).value());
+
+  Conjunction infeasible = feasible;
+  infeasible.Add(LinearConstraint::Ge(
+      LinearExpr::Term(big, x),
+      LinearExpr::Constant(big + Rational(1))));
+  EXPECT_FALSE(Simplex::IsSatisfiable(infeasible).value());
+
+  // Fourier-Motzkin with huge coefficients: eliminate y from
+  // { y <= big*x, y >= big*x } == { y = big*x } conjoined with x = 1;
+  // the projection onto x keeps x = 1 exactly satisfiable.
+  Conjunction fm;
+  fm.Add(LinearConstraint::Le(LinearExpr::Var(y), LinearExpr::Term(big, x)));
+  fm.Add(LinearConstraint::Ge(LinearExpr::Var(y), LinearExpr::Term(big, x)));
+  fm.Add(LinearConstraint::Eq(LinearExpr::Var(x),
+                              LinearExpr::Constant(Rational(1))));
+  auto projected = FourierMotzkin::ProjectOnto(fm, VarSet{x});
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  EXPECT_TRUE(Simplex::IsSatisfiable(*projected).value());
+}
+
+}  // namespace
+}  // namespace lyric

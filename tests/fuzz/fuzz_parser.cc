@@ -1,0 +1,30 @@
+// Fuzz harness for the LyriC lexer and parser: arbitrary bytes must lex
+// and parse to either an AST or a clean diagnostic — never crash, hang,
+// or trip a sanitizer. Build with -DLYRIC_FUZZERS=ON; under Clang this
+// links libFuzzer, elsewhere the standalone driver replays a corpus with
+// deterministic mutations (see standalone_main.cc).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "query/diagnostics.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Cap the input so pathological token streams stay in smoke-test time.
+  if (size > 1 << 16) return 0;
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto tokens = lyric::Lex(text);
+  if (tokens.ok()) {
+    // Exercise both parser entry points and the diagnostic path.
+    lyric::Diagnostic diag;
+    auto query = lyric::ParseQuery(text, &diag);
+    (void)query;
+    auto formula = lyric::ParseFormula(text);
+    (void)formula;
+  }
+  return 0;
+}

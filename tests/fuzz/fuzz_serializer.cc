@@ -1,0 +1,27 @@
+// Fuzz harness for the database serializer: arbitrary bytes fed to
+// LoadDatabase must produce either a loaded database or a clean Status —
+// never a crash, leak, or partial mutation (the loader stages into a
+// scratch database). Build with -DLYRIC_FUZZERS=ON.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "object/database.h"
+#include "storage/serializer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 1 << 16) return 0;
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  lyric::Database db;
+  lyric::Status status = lyric::Serializer::LoadDatabase(text, &db);
+  if (status.ok()) {
+    // A payload that loads must pass the database's own invariants.
+    if (!db.CheckIntegrity().ok()) __builtin_trap();
+  } else if (db.ObjectCount() != 0) {
+    // Rejection must be all-or-nothing.
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -225,7 +225,26 @@ int main(int argc, char** argv) {
     buf << in.rdbuf();
     const std::string source = buf.str();
 
-    std::vector<Diagnostic> diags = LintFile(db, source);
+    // Per-file exception firewall: a malformed file that trips an
+    // unexpected throw (including std::bad_alloc on a pathological input)
+    // is reported as a failure for that file, and the run moves on to the
+    // remaining inputs instead of crashing the whole batch.
+    std::vector<Diagnostic> diags;
+    try {
+      diags = LintFile(db, source);
+    } catch (const std::bad_alloc&) {
+      std::cerr << file << ": out of memory while linting; skipped\n";
+      ++total_errors;
+      continue;
+    } catch (const std::exception& e) {
+      std::cerr << file << ": unexpected exception: " << e.what() << "\n";
+      ++total_errors;
+      continue;
+    } catch (...) {
+      std::cerr << file << ": unknown exception while linting\n";
+      ++total_errors;
+      continue;
+    }
     if (opts.quiet) {
       std::erase_if(diags, [](const Diagnostic& d) {
         return d.severity == Severity::kNote;

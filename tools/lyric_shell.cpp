@@ -19,13 +19,22 @@
 //   .trace off           stop writing traces
 //   .threads [N]         show or set evaluator worker threads (1 = serial)
 //   .cache [N|clear]     solver memo cache: stats, re-bound, or clear
+//   .deadline [MS|off]   show or set the per-query wall-clock deadline
+//   .budget [BYTES|off]  show or set the per-query kernel memory budget
 //   .load PATH / .save PATH
 //   .quit
 // Anything else is parsed as a LyriC query and evaluated.
+//
+// Every statement runs inside an exception firewall: an unexpected throw
+// (including std::bad_alloc) reports an error and returns to the prompt
+// with the database intact, instead of killing the session.
 
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <new>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -36,6 +45,7 @@
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "storage/serializer.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 using namespace lyric;  // NOLINT - tool code.
@@ -91,6 +101,32 @@ void PrintObjects(const Database& db, const std::string& cls) {
             << " constraints interned)\n";
 }
 
+// Parses a `.deadline`/`.budget` argument; prints usage on garbage.
+void SetLimit(const std::string& cmd, const std::string& arg,
+              const char* unit, std::optional<uint64_t>* limit) {
+  if (arg.empty()) {
+    if (limit->has_value()) {
+      std::cout << cmd << " = " << **limit << unit << "\n";
+    } else {
+      std::cout << cmd << " = off\n";
+    }
+    return;
+  }
+  if (arg == "off") {
+    limit->reset();
+    std::cout << cmd << " = off\n";
+    return;
+  }
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+  if (end == arg.c_str() || *end != '\0' || n == 0) {
+    std::cout << "usage: " << cmd << " [N|off]\n";
+    return;
+  }
+  *limit = static_cast<uint64_t>(n);
+  std::cout << cmd << " = " << n << unit << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,9 +152,21 @@ int main(int argc, char** argv) {
   std::string pending;
   std::string trace_path;  // non-empty: write a Chrome trace per query
   size_t threads = DefaultEvalThreads();  // worker threads per query
+  // Per-query governor limits; the defaults pick up LYRIC_DEADLINE_MS /
+  // LYRIC_MEMORY_BUDGET through EvalOptions.
+  std::optional<uint64_t> deadline_ms = EvalOptions{}.deadline_ms;
+  std::optional<uint64_t> budget = EvalOptions{}.memory_budget;
   while (true) {
     std::cout << (pending.empty() ? "lyric> " : "  ...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
+    // Per-statement exception firewall: break/continue below leave the
+    // try block normally; only a throw reaches the handlers, which report
+    // and return to the prompt with the session state intact.
+    try {
+    if (fault::Enabled() && fault::Inject(fault::kSiteShell)) {
+      // Simulated allocation failure inside statement execution.
+      throw std::bad_alloc();
+    }
     // Dot commands act immediately.
     if (pending.empty() && !line.empty() && line[0] == '.') {
       std::istringstream ss(line);
@@ -142,8 +190,11 @@ int main(int argc, char** argv) {
                      "          parallel results are byte-identical)\n"
                      "  .cache [N|clear]     solver memo cache: show stats, "
                      "re-bound to N\n                       entries (0 "
-                     "disables), or drop all entries\n  anything else: a "
-                     "LyriC query ending in ';'\n";
+                     "disables), or drop all entries\n  .deadline [MS|off]   "
+                     "per-query wall-clock deadline; a query that\n           "
+                     "            exceeds it returns its partial rows\n"
+                     "  .budget [BYTES|off]  per-query kernel memory budget\n"
+                     "  anything else: a LyriC query ending in ';'\n";
       } else if (cmd == ".stats") {
         std::cout << obs::Registry::Global().Snapshot().ToString();
       } else if (cmd == ".threads") {
@@ -160,6 +211,10 @@ int main(int argc, char** argv) {
                       << (threads == 1 ? " (serial)" : "") << "\n";
           }
         }
+      } else if (cmd == ".deadline") {
+        SetLimit(".deadline", arg, "ms", &deadline_ms);
+      } else if (cmd == ".budget") {
+        SetLimit(".budget", arg, "B", &budget);
       } else if (cmd == ".cache") {
         SolverCache& cache = SolverCache::Global();
         if (arg.empty()) {
@@ -181,6 +236,8 @@ int main(int argc, char** argv) {
         EvalOptions opts;
         opts.collect_trace = true;
         opts.threads = threads;
+        opts.deadline_ms = deadline_ms;
+        opts.memory_budget = budget;
         Evaluator ev(&db, opts);
         auto r = ev.Execute(arg);
         if (!r.ok()) {
@@ -280,6 +337,8 @@ int main(int argc, char** argv) {
     EvalOptions opts;
     opts.collect_trace = !trace_path.empty();
     opts.threads = threads;
+    opts.deadline_ms = deadline_ms;
+    opts.memory_budget = budget;
     Evaluator ev(&db, opts);
     auto r = ev.Execute(pending);
     pending.clear();
@@ -299,6 +358,17 @@ int main(int argc, char** argv) {
     std::cout << r->ToString() << "\n";
     for (const std::string& cls : ev.created_classes()) {
       std::cout << "created class " << cls << "\n";
+    }
+    } catch (const std::bad_alloc&) {
+      std::cout << "error: out of memory executing statement; "
+                   "session state preserved\n";
+      pending.clear();
+    } catch (const std::exception& e) {
+      std::cout << "error: unexpected exception: " << e.what() << "\n";
+      pending.clear();
+    } catch (...) {
+      std::cout << "error: unknown exception executing statement\n";
+      pending.clear();
     }
   }
   return 0;
