@@ -185,13 +185,87 @@ void SolverCache::StoreEntry(Entry entry) {
   }
 }
 
+std::optional<Status> SolverCache::LookupTombstone(const Key& key) {
+  if (!enabled() || CacheFault()) return std::nullopt;
+  // Ungoverned runs never fail fast — they are entitled to the full
+  // (unbounded) computation and will overwrite the tombstone on success.
+  exec::CancellationToken* token = exec::GovernorScope::Current();
+  if (token == nullptr) return std::nullopt;
+  size_t hash = BucketHash(key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = FindLocked(shard, key, hash);
+  if (e == nullptr || !e->tombstone) return std::nullopt;
+  // Only budgets at or below the one that tripped are doomed; a larger
+  // budget (or an unlimited one) must genuinely retry the computation.
+  std::optional<uint64_t> limit = token->LimitFor(e->tomb_kind);
+  if (!limit.has_value() || *limit > e->tomb_limit) return std::nullopt;
+  token->ForceTrip(e->tomb_kind, e->tomb_site.c_str());
+  LYRIC_OBS_COUNT("cache.tombstone.hit");
+  return token->ToStatus();
+}
+
+void SolverCache::StoreTombstone(Key key) {
+  if (!enabled() || CacheFault()) return;
+  exec::CancellationToken* token = exec::GovernorScope::Current();
+  if (token == nullptr) return;
+  const exec::LimitKind kind = token->tripped_kind();
+  // Budget trips only: wall-clock (deadline) cost is a property of the
+  // machine's load, not of the key, so it is never tombstoned.
+  if (kind != exec::LimitKind::kMemory && kind != exec::LimitKind::kPivots &&
+      kind != exec::LimitKind::kDisjuncts) {
+    return;
+  }
+  std::optional<uint64_t> limit = token->LimitFor(kind);
+  if (!limit.has_value()) return;
+  Entry entry;
+  entry.key = std::move(key);
+  entry.hash = BucketHash(entry.key);
+  entry.tombstone = true;
+  entry.tomb_kind = kind;
+  entry.tomb_limit = *limit;
+  entry.tomb_site = token->Report().site;
+  LYRIC_OBS_COUNT("cache.tombstone.stored");
+  StoreEntry(std::move(entry));
+}
+
+std::optional<Status> SolverCache::LookupSatTombstone(const Conjunction& c) {
+  return LookupTombstone(Key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()});
+}
+
+void SolverCache::StoreSatTombstone(const Conjunction& c) {
+  StoreTombstone(Key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()});
+}
+
+std::optional<Status> SolverCache::LookupCanonicalTombstone(
+    const Conjunction& c, CanonicalLevel level) {
+  return LookupTombstone(Key{Kind::kCanonical, level, c, Dnf()});
+}
+
+void SolverCache::StoreCanonicalTombstone(const Conjunction& c,
+                                          CanonicalLevel level) {
+  StoreTombstone(Key{Kind::kCanonical, level, c, Dnf()});
+}
+
+std::optional<Status> SolverCache::LookupEntailsTombstone(
+    const Conjunction& lhs, const Dnf& rhs) {
+  return LookupTombstone(Key{Kind::kEntails, CanonicalLevel::kSyntactic, lhs,
+                             rhs});
+}
+
+void SolverCache::StoreEntailsTombstone(const Conjunction& lhs,
+                                        const Dnf& rhs) {
+  StoreTombstone(Key{Kind::kEntails, CanonicalLevel::kSyntactic, lhs, rhs});
+}
+
 std::optional<bool> SolverCache::LookupSat(const Conjunction& c) {
   if (!enabled() || CacheFault()) return std::nullopt;
   Key key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (Entry* e = FindLocked(shard, key, hash)) {
+  Entry* e = FindLocked(shard, key, hash);
+  if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     LYRIC_OBS_COUNT("solver_cache.hits");
     LYRIC_OBS_COUNT("solver_cache.sat_hits");
@@ -218,7 +292,8 @@ std::optional<Conjunction> SolverCache::LookupCanonical(
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (Entry* e = FindLocked(shard, key, hash)) {
+  Entry* e = FindLocked(shard, key, hash);
+  if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     LYRIC_OBS_COUNT("solver_cache.hits");
     LYRIC_OBS_COUNT("solver_cache.canonical_hits");
@@ -246,7 +321,8 @@ std::optional<bool> SolverCache::LookupEntails(const Conjunction& lhs,
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (Entry* e = FindLocked(shard, key, hash)) {
+  Entry* e = FindLocked(shard, key, hash);
+  if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     LYRIC_OBS_COUNT("solver_cache.hits");
     LYRIC_OBS_COUNT("solver_cache.entailment_hits");

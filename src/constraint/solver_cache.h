@@ -39,6 +39,8 @@
 
 #include "constraint/canonical.h"
 #include "constraint/dnf.h"
+#include "exec/governor.h"
+#include "util/status.h"
 
 namespace lyric {
 
@@ -99,6 +101,33 @@ class SolverCache {
   std::optional<bool> LookupEntails(const Conjunction& lhs, const Dnf& rhs);
   void StoreEntails(const Conjunction& lhs, const Dnf& rhs, bool holds);
 
+  // -- Governor-aware tombstones -------------------------------------------
+  //
+  // A governed computation that trips a resource budget (memory / pivots /
+  // disjuncts) on a key records a "too expensive" tombstone instead of a
+  // verdict. A later *governed* run whose budget for that limit is no
+  // larger fails fast: the tombstone replays the original trip (same
+  // LimitKind, same site — hence a byte-identical trip Status) without
+  // re-burning the budget. Ungoverned runs and runs with a strictly larger
+  // budget ignore tombstones and recompute; a successful computation
+  // overwrites the tombstone (same key). Deadline trips are never
+  // tombstoned — wall-clock cost depends on machine load, not the key.
+  // Tombstones live in the LRU and evict like normal entries. Hits count
+  // as obs "cache.tombstone.hit", stores as "cache.tombstone.stored".
+  //
+  // Lookup* returns the replayed trip Status when the tombstone applies,
+  // nullopt otherwise. Store* reads the ambient governor token and is a
+  // no-op unless it tripped on a budget limit.
+
+  std::optional<Status> LookupSatTombstone(const Conjunction& c);
+  void StoreSatTombstone(const Conjunction& c);
+  std::optional<Status> LookupCanonicalTombstone(const Conjunction& c,
+                                                 CanonicalLevel level);
+  void StoreCanonicalTombstone(const Conjunction& c, CanonicalLevel level);
+  std::optional<Status> LookupEntailsTombstone(const Conjunction& lhs,
+                                               const Dnf& rhs);
+  void StoreEntailsTombstone(const Conjunction& lhs, const Dnf& rhs);
+
   /// Test seam: maps every structural hash through `fn` before bucketing
   /// (e.g. a constant function forces all keys to collide, exercising the
   /// structural-equality fallback). Pass nullptr to restore. Not for
@@ -123,6 +152,12 @@ class SolverCache {
     size_t hash = 0;  // Possibly overridden; the bucket key.
     bool verdict = false;              // kSat / kEntails.
     Conjunction canonical;             // kCanonical.
+    // Tombstone payload: when set, the entry records a budget trip
+    // instead of a verdict (verdict/canonical are meaningless).
+    bool tombstone = false;
+    exec::LimitKind tomb_kind = exec::LimitKind::kNone;
+    uint64_t tomb_limit = 0;  ///< The budget value that tripped.
+    std::string tomb_site;    ///< First trip site (replayed verbatim).
   };
 
   struct Shard {
@@ -144,6 +179,8 @@ class SolverCache {
   Entry* FindLocked(Shard& shard, const Key& key, size_t hash);
   /// Inserts (or overwrites) `entry`, evicting LRU entries past capacity.
   void StoreEntry(Entry entry);
+  std::optional<Status> LookupTombstone(const Key& key);
+  void StoreTombstone(Key key);
   void EraseFromIndexLocked(Shard& shard, std::list<Entry>::iterator it);
 
   std::atomic<size_t> capacity_;

@@ -173,6 +173,22 @@ Status CancellationToken::ToStatus() const {
   return Status::ResourceExhausted(std::move(msg));
 }
 
+std::optional<uint64_t> CancellationToken::LimitFor(LimitKind kind) const {
+  switch (kind) {
+    case LimitKind::kDeadline:
+      return limits_.deadline_ms;
+    case LimitKind::kMemory:
+      return limits_.memory_budget;
+    case LimitKind::kPivots:
+      return limits_.max_pivots;
+    case LimitKind::kDisjuncts:
+      return limits_.max_disjuncts;
+    case LimitKind::kNone:
+      break;
+  }
+  return std::nullopt;
+}
+
 GovernorReport CancellationToken::Report() const {
   GovernorReport report;
   report.tripped = tripped_kind();

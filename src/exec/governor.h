@@ -152,6 +152,16 @@ class CancellationToken {
     return static_cast<LimitKind>(tripped_.load(std::memory_order_acquire));
   }
 
+  /// Trips the token directly with the given kind and site. Used by the
+  /// SolverCache tombstone path: a recorded "too expensive" verdict fails
+  /// the query fast by replaying the original trip (same kind, same site,
+  /// hence a byte-identical ToStatus message) without re-burning the
+  /// budget. Sticky like every other trip.
+  void ForceTrip(LimitKind kind, const char* site) { Trip(kind, site); }
+
+  /// The configured cap for `kind`, or nullopt when that limit is unset.
+  std::optional<uint64_t> LimitFor(LimitKind kind) const;
+
   /// Usage snapshot (consistent enough for diagnostics; individual
   /// counters are exact).
   GovernorReport Report() const;

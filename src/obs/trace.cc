@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 namespace lyric {
 namespace obs {
@@ -110,15 +111,26 @@ void ScopedTraceSession::Stop() {
   g_current_collector = previous_;
 }
 
+namespace {
+
+// Simulated span-open failure: the span is silently dropped (its children
+// re-parent to the enclosing span). Observability may thin out but query
+// results are untouched — the contract the trace fault gate verifies.
+bool TraceFault() {
+  return fault::Enabled() && fault::Inject(fault::kSiteTrace);
+}
+
+}  // namespace
+
 Span::Span(const char* name) {
   TraceCollector* c = TraceCollector::Current();
-  if (c == nullptr) return;
+  if (c == nullptr || TraceFault()) return;
   Open(c, name);
 }
 
 Span::Span(const char* name, size_t index) {
   TraceCollector* c = TraceCollector::Current();
-  if (c == nullptr) return;
+  if (c == nullptr || TraceFault()) return;
   Open(c, std::string(name) + "[" + std::to_string(index) + "]");
 }
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #include "constraint/solver_cache.h"
 #include "exec/governor.h"
+#include "exec/scheduler.h"
 #include "exec/thread_pool.h"
+#include "util/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/analyzer.h"
@@ -109,12 +112,23 @@ ResultSet GovernedPartial(ResultSet out, exec::CancellationToken& token) {
   return out;
 }
 
+// Admission re-entrancy guard: a query evaluated from inside another query
+// on the same thread (method dispatch, view materialization) must not
+// re-enter the scheduler — with a cap of 1 that would deadlock against the
+// slot its own outer query holds.
+thread_local int t_admission_depth = 0;
+
+struct AdmissionDepthScope {
+  AdmissionDepthScope() { ++t_admission_depth; }
+  ~AdmissionDepthScope() { --t_admission_depth; }
+};
+
 }  // namespace
 
 Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
   if (!options_.collect_trace) {
     LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(query_text));
-    return ExecuteImpl(query);
+    return ExecuteWithRetry(query);
   }
   auto profile = std::make_shared<obs::QueryProfile>();
   profile->counters_before = obs::Registry::Global().Snapshot();
@@ -124,7 +138,7 @@ Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
     return ParseQuery(query_text);
   }();
   if (!query.ok()) return query.status();
-  Result<ResultSet> r = ExecuteImpl(*query);
+  Result<ResultSet> r = ExecuteWithRetry(*query);
   session.Stop();
   profile->counters_after = obs::Registry::Global().Snapshot();
   if (r.ok()) r->set_profile(std::move(profile));
@@ -132,15 +146,33 @@ Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
 }
 
 Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
-  if (!options_.collect_trace) return ExecuteImpl(query);
+  if (!options_.collect_trace) return ExecuteWithRetry(query);
   auto profile = std::make_shared<obs::QueryProfile>();
   profile->counters_before = obs::Registry::Global().Snapshot();
   obs::ScopedTraceSession session(&profile->trace);
-  Result<ResultSet> r = ExecuteImpl(query);
+  Result<ResultSet> r = ExecuteWithRetry(query);
   session.Stop();
   profile->counters_after = obs::Registry::Global().Snapshot();
   if (r.ok()) r->set_profile(std::move(profile));
   return r;
+}
+
+Result<ResultSet> Evaluator::ExecuteWithRetry(const ast::Query& query) {
+  const exec::RetryPolicy& policy = options_.retry.has_value()
+                                        ? *options_.retry
+                                        : exec::RetryPolicy::FromEnv();
+  uint32_t attempt = 0;
+  for (;;) {
+    Result<ResultSet> r = ExecuteImpl(query);
+    if (r.ok() || !policy.ShouldRetry(r.status(), attempt)) return r;
+    // Transient failures only (kUnavailable: admission sheds, injected
+    // transport faults) — a kDeadlineExceeded partial is a *result* and
+    // never reaches here as an error.
+    LYRIC_OBS_COUNT("scheduler.retries");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(policy.BackoffMs(attempt, r.status())));
+    ++attempt;
+  }
 }
 
 Result<std::vector<Binding>> Evaluator::EnumerateFrom(
@@ -518,6 +550,47 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   if (options_.cache_capacity.has_value()) {
     SolverCache::Global().set_capacity(*options_.cache_capacity);
   }
+
+  // -- Admission control (docs/ROBUSTNESS.md) -----------------------------
+  // Reconfigure the scheduler when any knob is set (0 clears a limit),
+  // then ask for a slot. A shed admission returns the typed kUnavailable
+  // error here — ExecuteWithRetry may retry it — and a degraded grant
+  // forces the scan serial below. Nested executions on this thread skip
+  // admission: the outer query's ticket covers them.
+  exec::QueryScheduler& scheduler = options_.scheduler != nullptr
+                                        ? *options_.scheduler
+                                        : exec::QueryScheduler::Global();
+  if (options_.max_concurrent_queries.has_value() ||
+      options_.queue_capacity.has_value() ||
+      options_.queue_timeout_ms.has_value()) {
+    exec::SchedulerLimits slimits = scheduler.limits();
+    if (options_.max_concurrent_queries.has_value()) {
+      slimits.max_concurrent = *options_.max_concurrent_queries == 0
+                                   ? std::nullopt
+                                   : options_.max_concurrent_queries;
+    }
+    if (options_.queue_capacity.has_value()) {
+      slimits.queue_capacity = *options_.queue_capacity == 0
+                                   ? std::nullopt
+                                   : options_.queue_capacity;
+    }
+    if (options_.queue_timeout_ms.has_value()) {
+      slimits.queue_timeout_ms = *options_.queue_timeout_ms == 0
+                                     ? std::nullopt
+                                     : options_.queue_timeout_ms;
+    }
+    scheduler.Configure(slimits);
+  }
+  exec::AdmissionTicket ticket;
+  if (t_admission_depth == 0) {
+    exec::AdmissionRequest request;
+    request.deadline_ms = options_.deadline_ms;
+    request.memory_budget = options_.memory_budget.value_or(0);
+    Result<exec::AdmissionTicket> admitted = scheduler.Admit(request);
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(*admitted);
+  }
+  AdmissionDepthScope admission_depth;
   // Pre-flight: collect the full diagnostic set; any error aborts before
   // data is touched, warnings and §3 family notes ride on the ResultSet.
   std::vector<Diagnostic> preflight;
@@ -578,6 +651,10 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   // CREATE VIEW materializes objects and schema mid-scan, so it stays on
   // one thread; a single binding has nothing to partition.
   size_t threads = options_.threads < 1 ? 1 : options_.threads;
+  // Graceful degradation: a ticket granted under ledger pressure runs the
+  // scan serially so the process drains queries before shedding any
+  // (byte-identical output either way — docs/PARALLELISM.md).
+  if (ticket.degraded()) threads = 1;
   if (threads > 1 && !query.is_view && bindings.size() > 1) {
     return ExecuteParallel(query, declared, std::move(out), bindings,
                            threads);
@@ -722,6 +799,23 @@ Result<ResultSet> Evaluator::ExecuteParallel(
         {
           obs::Span span("chunk_wait");
           latch.WaitFor(ci);
+        }
+        // Simulated lost chunk at the merge: drop the workers' outcomes
+        // and recompute the chunk inline on the merge thread (the
+        // governor token is ambient here), keeping the committed output
+        // byte-identical to a clean run — the contract the merge fault
+        // gate verifies.
+        if (fault::Enabled() && fault::Inject(fault::kSiteMerge)) {
+          LYRIC_OBS_COUNT("evaluator.merge_recomputed");
+          const size_t begin = ci * chunk_size;
+          const size_t end = std::min(begin + chunk_size, bindings.size());
+          std::vector<BindingOutcome> redo;
+          redo.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            if (token != nullptr && token->stopped()) break;
+            redo.push_back(EvalOneBinding(query, bindings[i], declared));
+          }
+          chunk_results[ci] = std::move(redo);
         }
         obs::Span span("chunk_merge");
         for (BindingOutcome& outcome : chunk_results[ci]) {

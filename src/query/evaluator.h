@@ -20,6 +20,7 @@
 
 #include "constraint/canonical.h"
 #include "exec/governor.h"
+#include "exec/scheduler.h"
 #include "object/database.h"
 #include "query/ast.h"
 #include "query/binding.h"
@@ -87,6 +88,28 @@ struct EvalOptions {
   std::optional<uint64_t> max_pivots;
   /// Cap on total DNF disjuncts materialized across the query.
   std::optional<uint64_t> max_disjuncts;
+  /// -- Admission control (docs/ROBUSTNESS.md) -------------------------
+  /// Every Execute passes through the process-wide QueryScheduler before
+  /// evaluating: with no limits configured admission is free; with a cap
+  /// the query may queue, run degraded (serial), or be shed with a typed
+  /// kUnavailable + retry-after. The three knobs below, when set,
+  /// reconfigure the scheduler (0 clears the corresponding limit) — the
+  /// same idiom as cache_capacity. Process defaults come from
+  /// LYRIC_MAX_CONCURRENT / LYRIC_QUEUE_CAPACITY / LYRIC_QUEUE_TIMEOUT_MS.
+  /// Cap on concurrently executing queries process-wide.
+  std::optional<uint64_t> max_concurrent_queries;
+  /// Cap on queries waiting for a slot (beyond it arrivals are shed).
+  std::optional<uint64_t> queue_capacity;
+  /// Max milliseconds an arrival may wait before being shed.
+  std::optional<uint64_t> queue_timeout_ms;
+  /// Test seam: admission goes through this scheduler instead of
+  /// QueryScheduler::Global() when set.
+  exec::QueryScheduler* scheduler = nullptr;
+  /// Retry policy for transient (kUnavailable) Execute failures —
+  /// admission sheds and injected transport faults. Unset defaults to
+  /// RetryPolicy::FromEnv() (LYRIC_RETRY=retries[:base_ms[:seed]]; retry
+  /// disabled when the variable is unset).
+  std::optional<exec::RetryPolicy> retry;
 };
 
 /// Executes LyriC queries against a Database.
@@ -118,7 +141,11 @@ class Evaluator {
   };
 
   // The untraced evaluation pipeline; the public Execute overloads wrap it
-  // in a trace session when options_.collect_trace is set.
+  // in a trace session when options_.collect_trace is set. Admission
+  // (scheduling) happens at the top of ExecuteImpl; ExecuteWithRetry
+  // retries transient failures (shed admissions, injected faults) under
+  // the configured RetryPolicy.
+  Result<ResultSet> ExecuteWithRetry(const ast::Query& query);
   Result<ResultSet> ExecuteImpl(const ast::Query& query);
   /// Runs WHERE + SELECT for one base binding (no ResultSet mutation, no
   /// view materialization — safe on worker threads).

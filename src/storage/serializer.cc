@@ -349,8 +349,10 @@ Status Serializer::LoadDatabase(const std::string& text, Database* db) {
     return Status::InvalidArgument(
         "LoadDatabase requires an empty database");
   }
+  // Typed kUnavailable: an injected transport failure is transient by
+  // construction — nothing was read — so RetryPolicy may retry it.
   if (fault::Enabled() && fault::Inject(fault::kSiteSerializer)) {
-    return Status::Internal("injected fault: serializer load");
+    return Status::Unavailable("injected fault: serializer load");
   }
   LYRIC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
   // Parse into a scratch database so a truncated or corrupted dump
@@ -365,7 +367,7 @@ Status Serializer::LoadDatabase(const std::string& text, Database* db) {
 
 Status Serializer::SaveToFile(const Database& db, const std::string& path) {
   if (fault::Enabled() && fault::Inject(fault::kSiteSerializer)) {
-    return Status::Internal("injected fault: serializer save");
+    return Status::Unavailable("injected fault: serializer save");
   }
   LYRIC_ASSIGN_OR_RETURN(std::string text, DumpDatabase(db));
   std::ofstream out(path);

@@ -25,6 +25,12 @@
 //   thread_pool   Submit degrades to inline execution on the caller
 //   alloc         kernel memory accounting trips the governor budget
 //   shell         lyric_shell statement loop throws (exception hardening)
+//   merge         a parallel chunk's results are lost at the ordered merge;
+//                 the merge thread recomputes the chunk inline
+//   trace         a trace span fails to open and is dropped (observability
+//                 loss only — query results unaffected)
+//   scheduler     admission control sheds the arrival as if the wait queue
+//                 were full (typed kUnavailable + retry-after hint)
 
 #ifndef LYRIC_UTIL_FAULT_H_
 #define LYRIC_UTIL_FAULT_H_
@@ -40,6 +46,9 @@ inline constexpr const char* kSiteSerializer = "serializer";
 inline constexpr const char* kSiteThreadPool = "thread_pool";
 inline constexpr const char* kSiteAlloc = "alloc";
 inline constexpr const char* kSiteShell = "shell";
+inline constexpr const char* kSiteMerge = "merge";
+inline constexpr const char* kSiteTrace = "trace";
+inline constexpr const char* kSiteScheduler = "scheduler";
 
 /// True when any site is armed (cheap: one relaxed atomic load). Callers
 /// on hot paths may use this to skip building arguments.

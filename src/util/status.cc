@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -7,6 +7,7 @@
 #ifndef LYRIC_UTIL_STATUS_H_
 #define LYRIC_UTIL_STATUS_H_
 
+#include <cstdint>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -39,6 +40,10 @@ enum class StatusCode : int {
   /// A per-query resource budget (memory, simplex pivots, DNF disjuncts)
   /// was exhausted; the query was stopped to protect the process.
   kResourceExhausted = 10,
+  /// The service is temporarily overloaded (admission queue full, transient
+  /// injected fault). The operation was never started and is safe to retry;
+  /// the status may carry a retry-after hint (see retry_after_ms()).
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -91,6 +96,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -120,11 +128,25 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   /// True for the two query-governor trip codes (the statuses a governed
   /// evaluation converts into a partial ResultSet instead of an error).
   bool IsGovernorTrip() const {
     return IsDeadlineExceeded() || IsResourceExhausted();
   }
+
+  /// Returns a copy of this status annotated with a retry-after hint in
+  /// milliseconds. Only meaningful on transient statuses (kUnavailable);
+  /// consumers such as exec::RetryPolicy treat the hint as a lower bound
+  /// on the backoff before the next attempt.
+  Status WithRetryAfter(uint64_t retry_after_ms) const {
+    if (ok()) return *this;
+    Status out(code(), message());
+    out.rep_ = std::make_shared<Rep>(Rep{code(), message(), retry_after_ms});
+    return out;
+  }
+  /// The retry-after hint, or 0 when none was attached.
+  uint64_t retry_after_ms() const { return rep_ ? rep_->retry_after_ms : 0; }
 
   /// "OK" or "<code-name>: <message>".
   std::string ToString() const;
@@ -133,6 +155,7 @@ class Status {
   struct Rep {
     StatusCode code;
     std::string message;
+    uint64_t retry_after_ms = 0;
   };
   std::shared_ptr<const Rep> rep_;
 };

@@ -160,14 +160,16 @@ TEST_F(FaultTest, SerializerFaultsFailWithCleanStatusAndNoMutation) {
   Database target;
   Status load = Serializer::LoadDatabase(dump, &target);
   EXPECT_FALSE(load.ok());
-  EXPECT_TRUE(load.IsInternal()) << load;
+  // Transport faults are transient by contract: typed kUnavailable so
+  // RunWithRetry (exec/scheduler.h) knows a repeat attempt can succeed.
+  EXPECT_TRUE(load.IsUnavailable()) << load;
   // The target database is untouched by the failed load.
   EXPECT_EQ(target.ObjectCount(), 0u);
   EXPECT_TRUE(target.schema().ClassNames().empty());
 
   Status save = Serializer::SaveToFile(db, "/tmp/lyric_fault_test.dump");
   EXPECT_FALSE(save.ok());
-  EXPECT_TRUE(save.IsInternal()) << save;
+  EXPECT_TRUE(save.IsUnavailable()) << save;
 
   // Disarmed, the same payload loads fine — the failure was injected,
   // not a corruption left behind.
@@ -188,6 +190,91 @@ TEST_F(FaultTest, ThreadPoolDirectSubmitSurvivesInjection) {
   }
   // Every task ran exactly once whether it was pooled or inlined.
   EXPECT_EQ(ran.load(), 32);
+}
+
+TEST_F(FaultTest, MergeFaultRecomputesChunksTransparently) {
+  Database db;
+  ASSERT_TRUE(office::BuildOfficeDatabase(&db).ok());
+  ASSERT_TRUE(office::AddScaledDesks(&db, 12, /*seed=*/5).ok());
+
+  EvalOptions serial;
+  serial.threads = 1;
+  Evaluator serial_ev(&db, serial);
+  auto expected = serial_ev.Execute(kQuery);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  // Every chunk handoff is "lost": the merge thread recomputes each chunk
+  // inline. Slower, never wrong.
+  ASSERT_TRUE(fault::ConfigureForTesting("merge:1.0"));
+  uint64_t before =
+      obs::Registry::Global().GetCounter("evaluator.merge_recomputed").value();
+  EvalOptions parallel;
+  parallel.threads = 4;
+  Evaluator parallel_ev(&db, parallel);
+  auto recomputed = parallel_ev.Execute(kQuery);
+  ASSERT_TRUE(recomputed.ok()) << recomputed.status();
+  EXPECT_EQ(recomputed->ToString(), expected->ToString());
+  EXPECT_GT(
+      obs::Registry::Global().GetCounter("evaluator.merge_recomputed").value(),
+      before);
+
+  // Probabilistic loss (some chunks survive, some recompute) too.
+  ASSERT_TRUE(fault::ConfigureForTesting("merge:0.5:11"));
+  auto mixed = parallel_ev.Execute(kQuery);
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_EQ(mixed->ToString(), expected->ToString());
+}
+
+TEST_F(FaultTest, TraceFaultDropsSpansNeverResults) {
+  Database db;
+  ASSERT_TRUE(office::BuildOfficeDatabase(&db).ok());
+  EvalOptions traced;
+  traced.collect_trace = true;
+  Evaluator ev(&db, traced);
+  auto clean = ev.Execute(kQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Every span construction fails: the trace is silently thinner (spans
+  // drop, children re-parent) and the answer is untouched.
+  ASSERT_TRUE(fault::ConfigureForTesting("trace:1.0"));
+  auto untraced = ev.Execute(kQuery);
+  ASSERT_TRUE(untraced.ok()) << untraced.status();
+  EXPECT_EQ(untraced->ToString(), clean->ToString());
+
+  ASSERT_TRUE(fault::ConfigureForTesting("trace:0.5:7"));
+  auto partial = ev.Execute(kQuery);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->ToString(), clean->ToString());
+}
+
+TEST_F(FaultTest, SchedulerFaultShedsWithTypedStatusAndRetryRecovers) {
+  Database db;
+  ASSERT_TRUE(office::BuildOfficeDatabase(&db).ok());
+  Evaluator ev(&db);
+  auto clean = ev.Execute(kQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // A forced queue-full shed surfaces as the transient typed status with
+  // a retry-after hint — never a crash, never a partial result.
+  ASSERT_TRUE(fault::ConfigureForTesting("scheduler:1.0"));
+  auto shed = ev.Execute(kQuery);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status();
+  EXPECT_GT(shed.status().retry_after_ms(), 0u);
+
+  // With a retry policy the evaluator absorbs probabilistic sheds and the
+  // caller sees only the byte-identical success.
+  ASSERT_TRUE(fault::ConfigureForTesting("scheduler:0.5:3"));
+  EvalOptions retrying;
+  exec::RetryPolicy policy;
+  policy.max_retries = 32;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  retrying.retry = policy;
+  Evaluator retry_ev(&db, retrying);
+  auto recovered = retry_ev.Execute(kQuery);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->ToString(), clean->ToString());
 }
 
 }  // namespace

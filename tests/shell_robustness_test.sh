@@ -51,6 +51,30 @@ rm -f "$corrupt"
 echo "$out" | grep -qi "error" || fail "corrupt .load not reported: $out"
 echo "$out" | grep -q "row" || fail "session dead after corrupt .load: $out"
 
+# 4b. Admission control from the shell: .admit configures the scheduler,
+#     .stats reports the effective limits, queries still run under the
+#     cap, and .admit off clears it.
+out=$(printf '.office\n.admit 2 4 500\n.stats\nSELECT X FROM Desk X;\n.admit off\n.admit\n.quit\n' \
+      | "$SHELL_BIN" 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "shell exited $rc during .admit session"
+echo "$out" | grep -q "max_concurrent = 2" \
+  || fail ".stats did not report the configured concurrency cap: $out"
+echo "$out" | grep -q "scheduler:" \
+  || fail ".stats did not print live scheduler counters: $out"
+echo "$out" | grep -q "row" || fail "query failed under .admit cap: $out"
+echo "$out" | grep -q "max_concurrent = off" \
+  || fail ".admit off did not clear the cap: $out"
+
+# 4c. A forced admission shed surfaces as a typed transient error and the
+#     session survives; with LYRIC_RETRY armed the same query succeeds.
+out=$(printf '.office\nSELECT X FROM Desk X;\n.quit\n' \
+      | LYRIC_FAULT=scheduler:0.5:5 LYRIC_RETRY=16:1 "$SHELL_BIN" 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "shell exited $rc under scheduler faults"
+echo "$out" | grep -q "row" \
+  || fail "retry policy did not recover the shed query: $out"
+
 # 5. lyric_check per-file firewall: a batch with a bad file reports and
 #    keeps going (non-zero exit, no crash signal).
 if [ -n "$CHECK_BIN" ]; then

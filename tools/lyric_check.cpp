@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "office/office_db.h"
 #include "query/analyzer.h"
 #include "query/diagnostics.h"
@@ -183,7 +184,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   } else {
-    if (auto st = Serializer::LoadFromFile(opts.db_path, &db); !st.ok()) {
+    // Batch runs retry transient (kUnavailable) load failures under the
+    // env-configured policy; each attempt parses into a fresh scratch
+    // database so a retry starts clean.
+    auto st = exec::RunWithRetry(exec::RetryPolicy::FromEnv(), [&] {
+      Database scratch;
+      Status attempt = Serializer::LoadFromFile(opts.db_path, &scratch);
+      if (attempt.ok()) db = std::move(scratch);
+      return attempt;
+    });
+    if (!st.ok()) {
       std::cerr << "could not load " << opts.db_path << ": " << st << "\n";
       return 2;
     }

@@ -21,6 +21,9 @@
 //   .cache [N|clear]     solver memo cache: stats, re-bound, or clear
 //   .deadline [MS|off]   show or set the per-query wall-clock deadline
 //   .budget [BYTES|off]  show or set the per-query kernel memory budget
+//   .admit [MAX [QUEUE [TIMEOUT_MS]]] | off
+//                        admission control: cap concurrent queries,
+//                        bound the wait queue, show live scheduler state
 //   .load PATH / .save PATH
 //   .quit
 // Anything else is parsed as a LyriC query and evaluated.
@@ -39,6 +42,7 @@
 #include <string>
 
 #include "constraint/solver_cache.h"
+#include "exec/scheduler.h"
 #include "obs/metrics.h"
 #include "office/office_db.h"
 #include "query/analyzer.h"
@@ -127,6 +131,37 @@ void SetLimit(const std::string& cmd, const std::string& arg,
   std::cout << cmd << " = " << n << unit << "\n";
 }
 
+std::string LimitToString(const std::optional<uint64_t>& v,
+                          const char* unit) {
+  return v.has_value() ? std::to_string(*v) + unit : std::string("off");
+}
+
+// The operator's live view: the knobs `.deadline`/`.budget`/`.threads`/
+// `.cache`/`.admit` actually apply to the next statement, plus the
+// process-wide scheduler ledger — so `.stats` shows effective limits, not
+// just counters.
+void PrintEffectiveLimits(size_t threads,
+                          const std::optional<uint64_t>& deadline_ms,
+                          const std::optional<uint64_t>& budget) {
+  exec::QueryScheduler& sched = exec::QueryScheduler::Global();
+  exec::SchedulerLimits sl = sched.limits();
+  const exec::RetryPolicy& rp = exec::RetryPolicy::FromEnv();
+  std::cout << "effective limits:\n"
+            << "  deadline = " << LimitToString(deadline_ms, "ms")
+            << " | budget = " << LimitToString(budget, "B")
+            << " | threads = " << threads
+            << " | cache = " << SolverCache::Global().capacity()
+            << " entries\n"
+            << "  admit: max_concurrent = "
+            << LimitToString(sl.max_concurrent, "")
+            << " | queue = " << LimitToString(sl.queue_capacity, "")
+            << " | timeout = " << LimitToString(sl.queue_timeout_ms, "ms")
+            << " | ledger = " << LimitToString(sl.max_total_memory, "B")
+            << "\n  retry: max = " << rp.max_retries
+            << " | base = " << rp.base_backoff_ms << "ms\n  "
+            << sched.stats().ToString() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,9 +229,14 @@ int main(int argc, char** argv) {
                      "per-query wall-clock deadline; a query that\n           "
                      "            exceeds it returns its partial rows\n"
                      "  .budget [BYTES|off]  per-query kernel memory budget\n"
+                     "  .admit [MAX [QUEUE [TIMEOUT_MS]]] | .admit off\n"
+                     "                       admission control: cap "
+                     "concurrent queries, bound\n                       "
+                     "the wait queue; bare .admit shows live state\n"
                      "  anything else: a LyriC query ending in ';'\n";
       } else if (cmd == ".stats") {
         std::cout << obs::Registry::Global().Snapshot().ToString();
+        PrintEffectiveLimits(threads, deadline_ms, budget);
       } else if (cmd == ".threads") {
         if (arg.empty()) {
           std::cout << "threads = " << threads << "\n";
@@ -215,6 +255,34 @@ int main(int argc, char** argv) {
         SetLimit(".deadline", arg, "ms", &deadline_ms);
       } else if (cmd == ".budget") {
         SetLimit(".budget", arg, "B", &budget);
+      } else if (cmd == ".admit") {
+        exec::QueryScheduler& sched = exec::QueryScheduler::Global();
+        if (arg.empty()) {
+          PrintEffectiveLimits(threads, deadline_ms, budget);
+        } else if (arg == "off") {
+          sched.Configure(exec::SchedulerLimits{});
+          std::cout << "admission control off\n";
+        } else {
+          std::istringstream as(arg);
+          uint64_t max_concurrent = 0;
+          if (!(as >> max_concurrent) || max_concurrent == 0) {
+            std::cout << "usage: .admit [MAX [QUEUE [TIMEOUT_MS]]] | "
+                         ".admit off\n";
+          } else {
+            exec::SchedulerLimits sl = sched.limits();
+            sl.max_concurrent = max_concurrent;
+            uint64_t queue = 0, timeout = 0;
+            if (as >> queue) sl.queue_capacity = queue;
+            if (as >> timeout) sl.queue_timeout_ms = timeout;
+            sched.Configure(sl);
+            std::cout << "admit: max_concurrent = "
+                      << LimitToString(sl.max_concurrent, "")
+                      << " | queue = "
+                      << LimitToString(sl.queue_capacity, "")
+                      << " | timeout = "
+                      << LimitToString(sl.queue_timeout_ms, "ms") << "\n";
+          }
+        }
       } else if (cmd == ".cache") {
         SolverCache& cache = SolverCache::Global();
         if (arg.empty()) {
@@ -314,8 +382,16 @@ int main(int argc, char** argv) {
         }
         std::cout << "ok\n";
       } else if (cmd == ".load") {
+        // Transient (injected) load failures are retryable: each attempt
+        // parses into its own scratch database (all-or-nothing), so a
+        // retry always starts clean.
         Database fresh;
-        auto st = Serializer::LoadFromFile(arg, &fresh);
+        auto st = exec::RunWithRetry(exec::RetryPolicy::FromEnv(), [&] {
+          Database scratch;
+          Status attempt = Serializer::LoadFromFile(arg, &scratch);
+          if (attempt.ok()) fresh = std::move(scratch);
+          return attempt;
+        });
         if (st.ok()) {
           db = std::move(fresh);
           (void)RegisterBuiltinCstMethods(&db);
@@ -324,7 +400,9 @@ int main(int argc, char** argv) {
           std::cout << st << "\n";
         }
       } else if (cmd == ".save") {
-        auto st = Serializer::SaveToFile(db, arg);
+        auto st = exec::RunWithRetry(
+            exec::RetryPolicy::FromEnv(),
+            [&] { return Serializer::SaveToFile(db, arg); });
         std::cout << (st.ok() ? "saved" : st.ToString()) << "\n";
       } else {
         std::cout << "unknown command " << cmd << " (.help)\n";
