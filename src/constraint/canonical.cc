@@ -125,9 +125,9 @@ Result<Conjunction> Canonical::Simplify(const Conjunction& c,
                                         CanonicalLevel level) {
   LYRIC_OBS_COUNT("canonical.simplify_calls");
   LYRIC_RETURN_NOT_OK(exec::CheckCancellation("canonical.simplify"));
-  static obs::Timer& simplify_timer =
-      obs::Registry::Global().GetTimer("canonical.simplify");
-  obs::ScopedTimer scoped_timer(simplify_timer);
+  static obs::Histogram& simplify_hist =
+      obs::Registry::Global().GetHistogram("canonical.simplify");
+  obs::ScopedHistogramTimer scoped_timer(simplify_hist);
   // Memoize the LP-bearing levels only; kSyntactic simplification is
   // cheaper than the lookup itself.
   if (level < CanonicalLevel::kCheap) {

@@ -35,6 +35,9 @@ Result<bool> SatWithClauses(const Conjunction& base,
 Result<bool> Entailment::ConjunctionEntails(const Conjunction& lhs,
                                             const Dnf& rhs) {
   LYRIC_OBS_COUNT("entailment.checks");
+  static obs::Histogram& check_hist =
+      obs::Registry::Global().GetHistogram("entailment.check");
+  obs::ScopedHistogramTimer scoped_timer(check_hist);
   // The DPLL recursion below checks the token through every
   // Simplex::IsSatisfiable call; a trip propagates out as an error before
   // the verdict reaches StoreEntails.

@@ -160,6 +160,9 @@ Result<Conjunction> FourierMotzkin::ProjectOntoAtMostOne(
 Result<Conjunction> FourierMotzkin::ProjectOnto(const Conjunction& c,
                                                 const VarSet& keep) {
   LYRIC_OBS_COUNT("fm.projections");
+  static obs::Histogram& project_hist =
+      obs::Registry::Global().GetHistogram("fm.project");
+  obs::ScopedHistogramTimer scoped_timer(project_hist);
   VarSet elim = VarsToEliminate(c, keep);
   LYRIC_RETURN_NOT_OK(CheckNoDisequalityOn(c, elim));
   Conjunction cur = c;

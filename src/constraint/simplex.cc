@@ -58,9 +58,9 @@ class CoreLp {
   CoreSolution Maximize(const std::vector<Rational>& obj) {
     assert(obj.size() == num_cols_);
     LYRIC_OBS_COUNT("simplex.lp_solves");
-    static obs::Timer& solve_timer =
-        obs::Registry::Global().GetTimer("simplex.solve");
-    obs::ScopedTimer scoped_timer(solve_timer);
+    static obs::Histogram& solve_hist =
+        obs::Registry::Global().GetHistogram("simplex.solve");
+    obs::ScopedHistogramTimer scoped_timer(solve_hist);
     // The tableau (rows + artificials) is the dominant transient
     // allocation; charge it against the governor's memory budget.
     exec::AccountKernelMemory(

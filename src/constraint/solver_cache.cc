@@ -102,11 +102,13 @@ void SolverCache::set_capacity(size_t capacity) {
     std::lock_guard<std::mutex> lock(shard.mu);
     while (shard.lru.size() > per) {
       auto last = std::prev(shard.lru.end());
+      AccountErase(*last);
       EraseFromIndexLocked(shard, last);
       shard.lru.erase(last);
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  PublishGauges();
 }
 
 void SolverCache::Clear() {
@@ -115,6 +117,45 @@ void SolverCache::Clear() {
     shard.lru.clear();
     shard.index.clear();
   }
+  entries_.store(0, std::memory_order_relaxed);
+  tombstones_.store(0, std::memory_order_relaxed);
+  approx_bytes_.store(0, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+size_t SolverCache::ApproxEntryBytes(const Entry& entry) {
+  // Per-atom footprint is dominated by the LinearExpr term vector and two
+  // arbitrary-precision rationals; 64 bytes is a workable flat estimate.
+  constexpr size_t kPerAtom = 64;
+  size_t atoms = entry.key.lhs.size() + entry.canonical.size();
+  for (const Conjunction& d : entry.key.rhs.disjuncts()) atoms += d.size();
+  return sizeof(Entry) + atoms * kPerAtom + entry.tomb_site.size();
+}
+
+void SolverCache::AccountErase(const Entry& entry) {
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  if (entry.tombstone) tombstones_.fetch_sub(1, std::memory_order_relaxed);
+  approx_bytes_.fetch_sub(ApproxEntryBytes(entry),
+                          std::memory_order_relaxed);
+}
+
+void SolverCache::PublishGauges() const {
+  // Only the global instance feeds the process-wide gauges; short-lived
+  // per-test caches must not clobber its occupancy numbers.
+  static const SolverCache* global = &Global();
+  if (this != global) return;
+  obs::Registry& reg = obs::Registry::Global();
+  static obs::Gauge& entries_gauge = reg.GetGauge("solver_cache.entries");
+  static obs::Gauge& bytes_gauge =
+      reg.GetGauge("solver_cache.approx_bytes");
+  static obs::Gauge& tombstones_gauge =
+      reg.GetGauge("solver_cache.tombstones");
+  entries_gauge.Set(
+      static_cast<int64_t>(entries_.load(std::memory_order_relaxed)));
+  bytes_gauge.Set(
+      static_cast<int64_t>(approx_bytes_.load(std::memory_order_relaxed)));
+  tombstones_gauge.Set(
+      static_cast<int64_t>(tombstones_.load(std::memory_order_relaxed)));
 }
 
 SolverCache::Stats SolverCache::stats() const {
@@ -169,20 +210,36 @@ void SolverCache::StoreEntry(Entry entry) {
   if (!enabled()) return;
   Shard& shard = ShardFor(entry.hash);
   size_t per = PerShardCapacity();
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (Entry* existing = FindLocked(shard, entry.key, entry.hash)) {
-    *existing = std::move(entry);
-    return;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (Entry* existing = FindLocked(shard, entry.key, entry.hash)) {
+      AccountErase(*existing);
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      if (entry.tombstone) {
+        tombstones_.fetch_add(1, std::memory_order_relaxed);
+      }
+      approx_bytes_.fetch_add(ApproxEntryBytes(entry),
+                              std::memory_order_relaxed);
+      *existing = std::move(entry);
+      PublishGauges();
+      return;
+    }
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.tombstone) tombstones_.fetch_add(1, std::memory_order_relaxed);
+    approx_bytes_.fetch_add(ApproxEntryBytes(entry),
+                            std::memory_order_relaxed);
+    shard.lru.push_front(std::move(entry));
+    shard.index[shard.lru.front().hash].push_back(shard.lru.begin());
+    while (shard.lru.size() > per) {
+      auto last = std::prev(shard.lru.end());
+      AccountErase(*last);
+      EraseFromIndexLocked(shard, last);
+      shard.lru.erase(last);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      LYRIC_OBS_COUNT("solver_cache.evictions");
+    }
   }
-  shard.lru.push_front(std::move(entry));
-  shard.index[shard.lru.front().hash].push_back(shard.lru.begin());
-  while (shard.lru.size() > per) {
-    auto last = std::prev(shard.lru.end());
-    EraseFromIndexLocked(shard, last);
-    shard.lru.erase(last);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-    LYRIC_OBS_COUNT("solver_cache.evictions");
-  }
+  PublishGauges();
 }
 
 std::optional<Status> SolverCache::LookupTombstone(const Key& key) {
@@ -201,6 +258,7 @@ std::optional<Status> SolverCache::LookupTombstone(const Key& key) {
   std::optional<uint64_t> limit = token->LimitFor(e->tomb_kind);
   if (!limit.has_value() || *limit > e->tomb_limit) return std::nullopt;
   token->ForceTrip(e->tomb_kind, e->tomb_site.c_str());
+  tombstone_hits_.fetch_add(1, std::memory_order_relaxed);
   LYRIC_OBS_COUNT("cache.tombstone.hit");
   return token->ToStatus();
 }

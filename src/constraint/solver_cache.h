@@ -88,6 +88,22 @@ class SolverCache {
 
   Stats stats() const;
 
+  /// Lifetime traffic counters, readable without touching shard locks.
+  /// The evaluator samples these before and after each query to attribute
+  /// hit/miss/tombstone deltas to its per-query log record.
+  struct Traffic {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t tombstone_hits = 0;
+  };
+  Traffic traffic() const {
+    Traffic t;
+    t.hits = hits_.load(std::memory_order_relaxed);
+    t.misses = misses_.load(std::memory_order_relaxed);
+    t.tombstone_hits = tombstone_hits_.load(std::memory_order_relaxed);
+    return t;
+  }
+
   // -- The three memoized verdict families ---------------------------------
 
   std::optional<bool> LookupSat(const Conjunction& c);
@@ -183,10 +199,24 @@ class SolverCache {
   void StoreTombstone(Key key);
   void EraseFromIndexLocked(Shard& shard, std::list<Entry>::iterator it);
 
+  /// Rough heap footprint of one entry, for the occupancy gauge (exact
+  /// accounting would walk every rational; the atom count dominates).
+  static size_t ApproxEntryBytes(const Entry& entry);
+  /// Retires `entry` from the occupancy accounting.
+  void AccountErase(const Entry& entry);
+  /// Pushes the occupancy atomics into the "solver_cache.*" gauges.
+  void PublishGauges() const;
+
   std::atomic<size_t> capacity_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> tombstone_hits_{0};
+  // Occupancy, maintained at every insert/overwrite/evict/clear so the
+  // gauges never need the shard locks.
+  std::atomic<size_t> entries_{0};
+  std::atomic<size_t> tombstones_{0};
+  std::atomic<size_t> approx_bytes_{0};
   std::function<size_t(size_t)> hash_override_;
   Shard shards_[kShards];
 };

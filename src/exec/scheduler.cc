@@ -76,6 +76,7 @@ AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
     scheduler_ = other.scheduler_;
     memory_ = other.memory_;
     degraded_ = other.degraded_;
+    queue_wait_ns_ = other.queue_wait_ns_;
     start_ = other.start_;
     other.scheduler_ = nullptr;
   }
@@ -105,6 +106,23 @@ void QueryScheduler::Configure(const SchedulerLimits& limits) {
 SchedulerLimits QueryScheduler::limits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return limits_;
+}
+
+void QueryScheduler::PublishGaugesLocked() const {
+  static const QueryScheduler* global = &Global();
+  if (this != global) return;
+  obs::Registry& reg = obs::Registry::Global();
+  static obs::Gauge& active_gauge = reg.GetGauge("scheduler.active");
+  static obs::Gauge& waiting_gauge = reg.GetGauge("scheduler.waiting");
+  static obs::Gauge& reserved_gauge =
+      reg.GetGauge("scheduler.reserved_memory_bytes");
+  uint64_t waiting = 0;
+  for (const Waiter& w : waiters_) {
+    if (!w.granted) ++waiting;
+  }
+  active_gauge.Set(static_cast<int64_t>(active_));
+  waiting_gauge.Set(static_cast<int64_t>(waiting));
+  reserved_gauge.Set(static_cast<int64_t>(reserved_memory_));
 }
 
 bool QueryScheduler::UnderPressureLocked() const {
@@ -220,6 +238,10 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
       ++degraded_;
       LYRIC_OBS_COUNT("scheduler.degraded");
     }
+    // A direct grant waited zero time; recording it keeps the queue-wait
+    // percentiles honest (p50 over all admissions, not just queued ones).
+    LYRIC_OBS_RECORD("scheduler.queue_wait", 0);
+    PublishGaugesLocked();
     AdmissionTicket ticket(this, request.memory_budget, degraded);
     ticket.start_ = now;
     return ticket;
@@ -245,6 +267,7 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
   }
   ++queued_;
   LYRIC_OBS_COUNT("scheduler.queued");
+  PublishGaugesLocked();
 
   // The wait bound: the query's own declared deadline and/or the queue
   // timeout, whichever comes first. Neither -> wait until granted.
@@ -272,6 +295,7 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
           waiters_.erase(it);
           ++expired_;
           LYRIC_OBS_COUNT("scheduler.expired");
+          PublishGaugesLocked();
           return ShedLocked(own_deadline
                                 ? "declared deadline expired while queued"
                                 : "queue wait timed out");
@@ -284,7 +308,13 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
 
   AdmissionTicket ticket(this, it->memory, it->degraded);
   ticket.start_ = now;
+  ticket.queue_wait_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - now)
+          .count());
+  LYRIC_OBS_RECORD("scheduler.queue_wait", ticket.queue_wait_ns_);
   waiters_.erase(it);
+  PublishGaugesLocked();
   return ticket;
 }
 
@@ -301,6 +331,7 @@ void QueryScheduler::Release(uint64_t memory,
       has_avg_ ? 0.8 * avg_duration_ms_ + 0.2 * elapsed_ms : elapsed_ms;
   has_avg_ = true;
   GrantWaitersLocked();
+  PublishGaugesLocked();
 }
 
 SchedulerStats QueryScheduler::stats() const {

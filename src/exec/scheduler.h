@@ -128,6 +128,9 @@ class AdmissionTicket {
   /// serially (threads=1) so the process finishes queries instead of
   /// oversubscribing workers.
   bool degraded() const { return degraded_; }
+  /// Time this admission spent parked in the wait queue (0 for a direct
+  /// grant). Feeds the per-query log record.
+  uint64_t queue_wait_ns() const { return queue_wait_ns_; }
 
   /// Returns the slot and ledger reservation early; idempotent.
   void Release();
@@ -140,6 +143,7 @@ class AdmissionTicket {
   QueryScheduler* scheduler_ = nullptr;
   uint64_t memory_ = 0;
   bool degraded_ = false;
+  uint64_t queue_wait_ns_ = 0;
   std::chrono::steady_clock::time_point start_{};
 };
 
@@ -200,6 +204,10 @@ class QueryScheduler {
   /// holds mu_.
   Status ShedLocked(const char* why);
   uint64_t RetryAfterHintLocked() const;
+  /// Mirrors live state into the "scheduler.*" gauges (Global() instance
+  /// only, so per-test schedulers don't clobber the process numbers).
+  /// Caller holds mu_.
+  void PublishGaugesLocked() const;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
@@ -11,6 +12,7 @@
 #include "exec/thread_pool.h"
 #include "util/fault.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "query/analyzer.h"
 #include "query/formula_builder.h"
@@ -123,41 +125,145 @@ struct AdmissionDepthScope {
   ~AdmissionDepthScope() { --t_admission_depth; }
 };
 
+// Carries admission facts from ExecuteImpl (inside the retry loop) up to
+// ExecuteLogged's per-query log record. Thread-local because nested and
+// concurrent queries each need their own copy; only the outermost
+// evaluation on a thread writes it.
+struct EvalLogInfo {
+  const char* admission = "off";
+  uint64_t queue_wait_ns = 0;
+  uint32_t threads = 1;
+};
+thread_local EvalLogInfo t_eval_log;
+
+// The parsed-AST Execute overload has no raw text, so the log record
+// carries a reconstructed shape instead: enough to identify the query in
+// the log without re-implementing a full printer.
+std::string SummarizeAstQuery(const ast::Query& query) {
+  std::string out;
+  if (query.is_view) {
+    out = "create view " + query.view_name + " ";
+  }
+  out += "select <" + std::to_string(query.select.size()) + " items> from";
+  for (const ast::FromItem& item : query.from) {
+    out += " " + item.class_name + " " + item.var + ",";
+  }
+  if (!query.from.empty()) out.pop_back();
+  if (query.where) out += " where <...>";
+  return out;
+}
+
 }  // namespace
 
 Result<ResultSet> Evaluator::Execute(const std::string& query_text) {
-  if (!options_.collect_trace) {
-    LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(query_text));
-    return ExecuteWithRetry(query);
-  }
-  auto profile = std::make_shared<obs::QueryProfile>();
-  profile->counters_before = obs::Registry::Global().Snapshot();
-  obs::ScopedTraceSession session(&profile->trace);
-  Result<ast::Query> query = [&]() -> Result<ast::Query> {
-    obs::Span span("parse");
-    return ParseQuery(query_text);
-  }();
-  if (!query.ok()) return query.status();
-  Result<ResultSet> r = ExecuteWithRetry(*query);
-  session.Stop();
-  profile->counters_after = obs::Registry::Global().Snapshot();
-  if (r.ok()) r->set_profile(std::move(profile));
-  return r;
+  return ExecuteLogged(&query_text, nullptr);
 }
 
 Result<ResultSet> Evaluator::Execute(const ast::Query& query) {
-  if (!options_.collect_trace) return ExecuteWithRetry(query);
-  auto profile = std::make_shared<obs::QueryProfile>();
-  profile->counters_before = obs::Registry::Global().Snapshot();
-  obs::ScopedTraceSession session(&profile->trace);
-  Result<ResultSet> r = ExecuteWithRetry(query);
-  session.Stop();
-  profile->counters_after = obs::Registry::Global().Snapshot();
-  if (r.ok()) r->set_profile(std::move(profile));
+  return ExecuteLogged(nullptr, &query);
+}
+
+Result<ResultSet> Evaluator::ExecuteLogged(const std::string* text,
+                                           const ast::Query* parsed) {
+  // Nested executions (method dispatch / view materialization reached from
+  // inside an outer query on this thread) keep the old fast path: no log
+  // record of their own — the outer query's record covers them — and no
+  // second trace session.
+  const bool outermost = t_admission_depth == 0;
+  const uint64_t slow_ms = options_.slow_ms.has_value()
+                               ? *options_.slow_ms
+                               : obs::SlowQueryThresholdMs();
+  // A trace is collected when the caller asked for one, or silently when
+  // the slow-query threshold is armed so a slow record can carry its
+  // per-stage profile. The profile only attaches to the ResultSet under
+  // collect_trace — the silent trace exists solely for the log.
+  const bool tracing = options_.collect_trace || (outermost && slow_ms > 0);
+
+  static obs::Gauge& active_gauge =
+      obs::Registry::Global().GetGauge("evaluator.active_queries");
+  if (outermost) {
+    t_eval_log = EvalLogInfo{};
+    active_gauge.Add(1);
+  }
+  const SolverCache::Traffic cache_before = SolverCache::Global().traffic();
+  const auto start = std::chrono::steady_clock::now();
+  uint32_t retries = 0;
+
+  std::shared_ptr<obs::QueryProfile> profile;
+  Result<ResultSet> r = [&]() -> Result<ResultSet> {
+    if (!tracing) {
+      if (text == nullptr) return ExecuteWithRetry(*parsed, &retries);
+      LYRIC_ASSIGN_OR_RETURN(ast::Query query, ParseQuery(*text));
+      return ExecuteWithRetry(query, &retries);
+    }
+    profile = std::make_shared<obs::QueryProfile>();
+    profile->counters_before = obs::Registry::Global().Snapshot();
+    obs::ScopedTraceSession session(&profile->trace);
+    std::optional<ast::Query> owned;
+    if (text != nullptr) {
+      obs::Span span("parse");
+      Result<ast::Query> query = ParseQuery(*text);
+      if (!query.ok()) return query.status();
+      owned.emplace(std::move(*query));
+    }
+    Result<ResultSet> res =
+        ExecuteWithRetry(owned.has_value() ? *owned : *parsed, &retries);
+    session.Stop();
+    profile->counters_after = obs::Registry::Global().Snapshot();
+    if (res.ok() && options_.collect_trace) res->set_profile(profile);
+    return res;
+  }();
+
+  if (!outermost) return r;
+
+  const uint64_t duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  LYRIC_OBS_RECORD("query.latency", duration_ns);
+  active_gauge.Add(-1);
+
+  const SolverCache::Traffic cache_after = SolverCache::Global().traffic();
+  obs::QueryLogRecord rec;
+  rec.query = text != nullptr ? *text : SummarizeAstQuery(*parsed);
+  rec.query_hash = obs::HashQueryText(rec.query);
+  rec.duration_ns = duration_ns;
+  rec.queue_wait_ns = t_eval_log.queue_wait_ns;
+  rec.admission = t_eval_log.admission;
+  rec.threads = t_eval_log.threads;
+  rec.retries = retries;
+  rec.cache_hits = cache_after.hits - cache_before.hits;
+  rec.cache_misses = cache_after.misses - cache_before.misses;
+  rec.tombstone_hits =
+      cache_after.tombstone_hits - cache_before.tombstone_hits;
+  if (r.ok()) {
+    rec.status = "ok";
+    rec.rows = r->size();
+    rec.truncated = r->truncated();
+    const Status& governor = r->governor_status();
+    if (!governor.ok()) {
+      // The closed vocabulary the log documents; any future trip kind
+      // falls through to its status-code name rather than "".
+      rec.governor = governor.code() == StatusCode::kDeadlineExceeded
+                         ? "deadline"
+                     : governor.code() == StatusCode::kResourceExhausted
+                         ? "memory"
+                         : StatusCodeToString(governor.code());
+    }
+  } else {
+    rec.status = StatusCodeToString(r.status().code());
+  }
+  rec.slow = slow_ms > 0 && duration_ns >= slow_ms * 1000000ull;
+  if (rec.slow) {
+    LYRIC_OBS_COUNT("evaluator.slow_queries");
+    if (profile != nullptr) rec.stages = profile->trace.ToPrettyString();
+  }
+  obs::QueryLog::Global().Append(std::move(rec));
   return r;
 }
 
-Result<ResultSet> Evaluator::ExecuteWithRetry(const ast::Query& query) {
+Result<ResultSet> Evaluator::ExecuteWithRetry(const ast::Query& query,
+                                              uint32_t* retries) {
   const exec::RetryPolicy& policy = options_.retry.has_value()
                                         ? *options_.retry
                                         : exec::RetryPolicy::FromEnv();
@@ -169,6 +275,7 @@ Result<ResultSet> Evaluator::ExecuteWithRetry(const ast::Query& query) {
     // transport faults) — a kDeadlineExceeded partial is a *result* and
     // never reaches here as an error.
     LYRIC_OBS_COUNT("scheduler.retries");
+    ++*retries;
     std::this_thread::sleep_for(
         std::chrono::milliseconds(policy.BackoffMs(attempt, r.status())));
     ++attempt;
@@ -582,13 +689,21 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
     scheduler.Configure(slimits);
   }
   exec::AdmissionTicket ticket;
-  if (t_admission_depth == 0) {
+  const bool outermost = t_admission_depth == 0;
+  if (outermost) {
     exec::AdmissionRequest request;
     request.deadline_ms = options_.deadline_ms;
     request.memory_budget = options_.memory_budget.value_or(0);
     Result<exec::AdmissionTicket> admitted = scheduler.Admit(request);
-    if (!admitted.ok()) return admitted.status();
+    if (!admitted.ok()) {
+      t_eval_log.admission = "shed";
+      return admitted.status();
+    }
     ticket = std::move(*admitted);
+    t_eval_log.admission = ticket.degraded()            ? "degraded"
+                           : ticket.queue_wait_ns() > 0 ? "queued"
+                                                        : "direct";
+    t_eval_log.queue_wait_ns = ticket.queue_wait_ns();
   }
   AdmissionDepthScope admission_depth;
   // Pre-flight: collect the full diagnostic set; any error aborts before
@@ -655,7 +770,11 @@ Result<ResultSet> Evaluator::ExecuteImpl(const ast::Query& query) {
   // scan serially so the process drains queries before shedding any
   // (byte-identical output either way — docs/PARALLELISM.md).
   if (ticket.degraded()) threads = 1;
-  if (threads > 1 && !query.is_view && bindings.size() > 1) {
+  const bool parallel = threads > 1 && !query.is_view && bindings.size() > 1;
+  if (outermost) {
+    t_eval_log.threads = static_cast<uint32_t>(parallel ? threads : 1);
+  }
+  if (parallel) {
     return ExecuteParallel(query, declared, std::move(out), bindings,
                            threads);
   }
@@ -767,12 +886,18 @@ Result<ResultSet> Evaluator::ExecuteParallel(
   // the kernels they run observe the same limits, and a trip on any
   // worker promptly stops all of them.
   exec::CancellationToken* token = exec::GovernorScope::Current();
+  // The query thread's trace collector (null unless a session is active);
+  // each worker task opens a lane on it so the parallel scan's spans land
+  // in the trace under that worker's thread id.
+  obs::TraceCollector* collector = obs::TraceCollector::Current();
   {
     exec::ThreadPool pool(std::min(threads, num_chunks));
     for (size_t ci = 0; ci < num_chunks; ++ci) {
       pool.Submit([this, &query, &declared, &bindings, &chunk_results,
-                   &latch, &cancel, token, ci, chunk_size] {
+                   &latch, &cancel, token, collector, ci, chunk_size] {
         exec::GovernorScope worker_scope(token);
+        obs::WorkerTraceScope trace_scope(collector);
+        obs::Span chunk_span("chunk", ci);
         const size_t begin = ci * chunk_size;
         const size_t end = std::min(begin + chunk_size, bindings.size());
         std::vector<BindingOutcome>& results = chunk_results[ci];
@@ -792,8 +917,9 @@ Result<ResultSet> Evaluator::ExecuteParallel(
 
     // Deterministic merge: chunks commit strictly in input order, so the
     // output (rows, diagnostics, truncation point) is byte-identical to
-    // the serial scan. Trace spans are recorded here — workers run with
-    // no thread-local collector, so their obs::Spans are no-ops.
+    // the serial scan. Merge-side spans record on the query thread's main
+    // lane; worker-side spans land in the per-thread lanes registered
+    // above and are merged into the trace export by thread id.
     Result<ResultSet> merged = [&]() -> Result<ResultSet> {
       for (size_t ci = 0; ci < num_chunks; ++ci) {
         {

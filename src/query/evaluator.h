@@ -58,6 +58,13 @@ struct EvalOptions {
   /// deltas) and attach it to the ResultSet. Off by default: with no
   /// collector installed every obs::Span is a single null check.
   bool collect_trace = false;
+  /// Slow-query threshold in milliseconds: a query slower than this is
+  /// marked slow in the per-query log and its full per-stage profile is
+  /// promoted into the log record (a trace is collected for every query
+  /// while the threshold is armed, even with collect_trace off — the
+  /// profile still only attaches to the ResultSet under collect_trace).
+  /// Unset defaults to LYRIC_SLOW_MS; 0 disables promotion.
+  std::optional<uint64_t> slow_ms;
   /// Worker threads for per-binding WHERE/SELECT evaluation (each
   /// candidate binding's satisfiability/entailment work is an independent
   /// simplex problem — §5's PTIME argument is per-tuple). 1 = serial. The
@@ -140,12 +147,19 @@ class Evaluator {
         per_survivor;
   };
 
-  // The untraced evaluation pipeline; the public Execute overloads wrap it
-  // in a trace session when options_.collect_trace is set. Admission
-  // (scheduling) happens at the top of ExecuteImpl; ExecuteWithRetry
-  // retries transient failures (shed admissions, injected faults) under
-  // the configured RetryPolicy.
-  Result<ResultSet> ExecuteWithRetry(const ast::Query& query);
+  // The shared front door behind both public Execute overloads: installs
+  // a trace session when needed (collect_trace, or a slow-query threshold
+  // is armed), parses `text` when `parsed` is null, runs the retry loop,
+  // and appends one QueryLogRecord per outermost evaluation. Exactly one
+  // of text/parsed is non-null.
+  Result<ResultSet> ExecuteLogged(const std::string* text,
+                                  const ast::Query* parsed);
+  // The untraced evaluation pipeline. Admission (scheduling) happens at
+  // the top of ExecuteImpl; ExecuteWithRetry retries transient failures
+  // (shed admissions, injected faults) under the configured RetryPolicy,
+  // counting retries into *retries for the query log.
+  Result<ResultSet> ExecuteWithRetry(const ast::Query& query,
+                                     uint32_t* retries);
   Result<ResultSet> ExecuteImpl(const ast::Query& query);
   /// Runs WHERE + SELECT for one base binding (no ResultSet mutation, no
   /// view materialization — safe on worker threads).

@@ -1,0 +1,164 @@
+// Cross-thread tracing tests: worker lanes, per-thread tids in the Chrome
+// export, and the evaluator integration — a threads=4 parallel scan must
+// produce a trace whose worker spans carry distinct tids (the acceptance
+// gate for multi-thread trace support).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "office/office_db.h"
+#include "query/evaluator.h"
+
+namespace lyric {
+namespace {
+
+// Extracts every distinct "tid": N value from a Chrome trace JSON.
+std::set<int> TidsIn(const std::string& json) {
+  std::set<int> tids;
+  size_t pos = 0;
+  while ((pos = json.find("\"tid\": ", pos)) != std::string::npos) {
+    pos += 7;
+    tids.insert(std::atoi(json.c_str() + pos));
+  }
+  return tids;
+}
+
+TEST(WorkerTraceTest, NullCollectorIsNoOp) {
+  obs::WorkerTraceScope scope(nullptr);
+  EXPECT_EQ(obs::TraceCollector::Current(), nullptr);
+  obs::Span span("orphan");  // must not record anywhere
+}
+
+TEST(WorkerTraceTest, WorkerLanesRecordPerThreadSpans) {
+  obs::TraceCollector collector;
+  {
+    obs::ScopedTraceSession session(&collector);
+    obs::Span main_span("main_work");
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < 4; ++w) {
+      workers.emplace_back([&collector, w] {
+        obs::WorkerTraceScope scope(&collector);
+        EXPECT_EQ(obs::TraceCollector::Current(), &collector);
+        obs::Span chunk("chunk", w);
+        obs::Span inner("where");
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  // Main tree holds only the main thread's spans.
+  EXPECT_EQ(collector.root().CountChildren("main_work"), 1u);
+  EXPECT_EQ(collector.root().CountChildren("chunk[0]"), 0u);
+  // Each worker got its own lane with its spans nested correctly.
+  auto lanes = collector.worker_lanes();
+  ASSERT_EQ(lanes.size(), 4u);
+  std::set<std::thread::id> lane_threads;
+  size_t chunks_seen = 0;
+  for (const auto& lane : lanes) {
+    lane_threads.insert(lane.thread);
+    ASSERT_EQ(lane.spans->children.size(), 1u);
+    const obs::SpanNode& chunk = *lane.spans->children[0];
+    EXPECT_EQ(chunk.name.rfind("chunk[", 0), 0u);
+    EXPECT_NE(chunk.FindChild("where"), nullptr);
+    ++chunks_seen;
+  }
+  EXPECT_EQ(chunks_seen, 4u);
+  EXPECT_EQ(lane_threads.size(), 4u);  // four distinct recording threads
+
+  // Chrome export: main thread is tid 1, workers get 2..5.
+  std::string json = collector.ToChromeTraceJson();
+  std::set<int> tids = TidsIn(json);
+  EXPECT_EQ(tids, (std::set<int>{1, 2, 3, 4, 5}));
+  EXPECT_NE(json.find("\"name\": \"chunk[2]\""), std::string::npos);
+
+  // Pretty export labels the worker sections.
+  std::string pretty = collector.ToPrettyString();
+  EXPECT_NE(pretty.find("[worker tid=2]"), std::string::npos);
+  EXPECT_NE(pretty.find("[worker tid=5]"), std::string::npos);
+}
+
+TEST(WorkerTraceTest, SameThreadLanesShareTid) {
+  obs::TraceCollector collector;
+  {
+    obs::ScopedTraceSession session(&collector);
+    std::thread worker([&collector] {
+      // Two scopes on the same OS thread (a pool thread running two
+      // chunk tasks) are two lanes but one tid in the export.
+      {
+        obs::WorkerTraceScope scope(&collector);
+        obs::Span chunk("chunk", 0);
+      }
+      {
+        obs::WorkerTraceScope scope(&collector);
+        obs::Span chunk("chunk", 1);
+      }
+    });
+    worker.join();
+  }
+  EXPECT_EQ(collector.worker_lanes().size(), 2u);
+  std::set<int> tids = TidsIn(collector.ToChromeTraceJson());
+  EXPECT_EQ(tids, (std::set<int>{1, 2}));
+}
+
+// The acceptance gate: a parallel evaluation at threads=4 produces a
+// trace with worker-thread spans under tids distinct from the query
+// thread's tid 1.
+TEST(WorkerTraceTest, ParallelQueryTraceHasWorkerTids) {
+  Database db;
+  auto ids = office::BuildOfficeDatabase(&db);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  // 40 extra objects -> 41 Object_in_Room bindings, comfortably more
+  // than one chunk per worker.
+  ASSERT_TRUE(office::AddScaledDesks(&db, 40, /*seed=*/7).ok());
+
+  EvalOptions opts;
+  opts.collect_trace = true;
+  opts.threads = 4;
+  Evaluator ev(&db, opts);
+  auto r = ev.Execute(std::string("SELECT O FROM Object_in_Room O"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_NE(r->profile(), nullptr);
+  const obs::TraceCollector& trace = r->profile()->trace;
+
+  // Worker lanes exist and carry chunk spans with the per-binding stages.
+  auto lanes = trace.worker_lanes();
+  ASSERT_FALSE(lanes.empty());
+  size_t chunk_spans = 0;
+  for (const auto& lane : lanes) {
+    for (const auto& span : lane.spans->children) {
+      if (span->name.rfind("chunk[", 0) == 0) ++chunk_spans;
+    }
+  }
+  EXPECT_GT(chunk_spans, 0u);
+
+  // The Chrome export shows the query thread plus at least one distinct
+  // worker tid (>= 2 distinct tids total; exactly how many workers ran
+  // chunks is scheduling-dependent).
+  std::string json = trace.ToChromeTraceJson();
+  std::set<int> tids = TidsIn(json);
+  EXPECT_GE(tids.size(), 2u) << json.substr(0, 500);
+  EXPECT_TRUE(tids.count(1) == 1) << "query thread tid missing";
+  EXPECT_TRUE(*tids.rbegin() >= 2) << "no worker tid in trace";
+  // Merge-side spans stay on the query thread; worker chunks appear.
+  EXPECT_NE(json.find("\"name\": \"chunk_merge\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"chunk["), std::string::npos);
+
+  // Serial run of the same query records no worker lanes.
+  EvalOptions serial = opts;
+  serial.threads = 1;
+  Evaluator sev(&db, serial);
+  auto sr = sev.Execute(std::string("SELECT O FROM Object_in_Room O"));
+  ASSERT_TRUE(sr.ok()) << sr.status();
+  ASSERT_NE(sr->profile(), nullptr);
+  EXPECT_TRUE(sr->profile()->trace.worker_lanes().empty());
+  EXPECT_EQ(TidsIn(sr->profile()->trace.ToChromeTraceJson()),
+            (std::set<int>{1}));
+}
+
+}  // namespace
+}  // namespace lyric

@@ -14,6 +14,10 @@
 //   .analyze QUERY       run the static analyzer only
 //   .check QUERY         lint: diagnostics with carets + §3 families
 //   .stats               engine counters accumulated this session
+//   .metrics [prom|json] [PATH]
+//                        dump the metrics registry (Prometheus text or
+//                        JSON), to stdout or PATH
+//   .log [N]             last N per-query log records as JSONL
 //   .profile QUERY       run QUERY with tracing: stage breakdown + counters
 //   .trace on PATH       write a Chrome trace JSON per query to PATH
 //   .trace off           stop writing traces
@@ -44,6 +48,7 @@
 #include "constraint/solver_cache.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "office/office_db.h"
 #include "query/analyzer.h"
 #include "query/evaluator.h"
@@ -217,7 +222,13 @@ int main(int argc, char** argv) {
                      "diagnostics with carets,\n                       "
                      "inferred §3 constraint families, variable classes\n"
                      "  .stats               engine counters for this "
-                     "session\n  .profile QUERY       stage timings + counter "
+                     "session\n"
+                     "  .metrics [prom|json] [PATH]\n"
+                     "                       dump the metrics registry "
+                     "(Prometheus text or JSON)\n"
+                     "  .log [N]             last N per-query log records "
+                     "as JSONL (default 10)\n"
+                     "  .profile QUERY       stage timings + counter "
                      "deltas for one query\n  .trace on PATH       write a "
                      "Chrome trace JSON per query to PATH\n  .trace off       "
                      "    stop writing traces\n  .threads [N]         show or "
@@ -237,6 +248,55 @@ int main(int argc, char** argv) {
       } else if (cmd == ".stats") {
         std::cout << obs::Registry::Global().Snapshot().ToString();
         PrintEffectiveLimits(threads, deadline_ms, budget);
+      } else if (cmd == ".metrics") {
+        std::istringstream as(arg);
+        std::string fmt, path;
+        as >> fmt >> path;
+        if (fmt.empty()) fmt = "prom";
+        if (fmt != "prom" && fmt != "json") {
+          std::cout << "usage: .metrics [prom|json] [PATH]\n";
+        } else {
+          const std::string dump =
+              fmt == "prom" ? obs::Registry::Global().ExportPrometheus()
+                            : obs::Registry::Global().ExportJson();
+          if (path.empty()) {
+            std::cout << dump;
+          } else {
+            std::ofstream out(path, std::ios::trunc);
+            if (out) {
+              out << dump;
+              std::cout << "(metrics written to " << path << ")\n";
+            } else {
+              std::cout << "(could not open " << path << ")\n";
+            }
+          }
+        }
+      } else if (cmd == ".log") {
+        size_t n = 10;
+        bool ok_arg = true;
+        if (!arg.empty()) {
+          char* end = nullptr;
+          unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+          if (end == arg.c_str() || *end != '\0' || v == 0) {
+            std::cout << "usage: .log [N]\n";
+            ok_arg = false;
+          } else {
+            n = static_cast<size_t>(v);
+          }
+        }
+        if (ok_arg) {
+          obs::QueryLog& qlog = obs::QueryLog::Global();
+          std::vector<obs::QueryLogRecord> recent = qlog.Recent(n);
+          if (recent.empty()) {
+            std::cout << "(query log empty)\n";
+          } else {
+            for (const obs::QueryLogRecord& rec : recent) {
+              std::cout << rec.ToJson() << "\n";
+            }
+            std::cout << "(" << recent.size() << " of "
+                      << qlog.total_appended() << " records)\n";
+          }
+        }
       } else if (cmd == ".threads") {
         if (arg.empty()) {
           std::cout << "threads = " << threads << "\n";
