@@ -99,7 +99,7 @@ void SolverCache::set_capacity(size_t capacity) {
   capacity_.store(capacity, std::memory_order_relaxed);
   size_t per = PerShardCapacity();
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     while (shard.lru.size() > per) {
       auto last = std::prev(shard.lru.end());
       AccountErase(*last);
@@ -113,7 +113,7 @@ void SolverCache::set_capacity(size_t capacity) {
 
 void SolverCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
@@ -165,7 +165,7 @@ SolverCache::Stats SolverCache::stats() const {
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.capacity = capacity();
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     out.size += shard.lru.size();
   }
   return out;
@@ -211,7 +211,7 @@ void SolverCache::StoreEntry(Entry entry) {
   Shard& shard = ShardFor(entry.hash);
   size_t per = PerShardCapacity();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    sync::MutexLock lock(shard.mu);
     if (Entry* existing = FindLocked(shard, entry.key, entry.hash)) {
       AccountErase(*existing);
       entries_.fetch_add(1, std::memory_order_relaxed);
@@ -250,7 +250,7 @@ std::optional<Status> SolverCache::LookupTombstone(const Key& key) {
   if (token == nullptr) return std::nullopt;
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   Entry* e = FindLocked(shard, key, hash);
   if (e == nullptr || !e->tombstone) return std::nullopt;
   // Only budgets at or below the one that tripped are doomed; a larger
@@ -321,7 +321,7 @@ std::optional<bool> SolverCache::LookupSat(const Conjunction& c) {
   Key key{Kind::kSat, CanonicalLevel::kSyntactic, c, Dnf()};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   Entry* e = FindLocked(shard, key, hash);
   if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -349,7 +349,7 @@ std::optional<Conjunction> SolverCache::LookupCanonical(
   Key key{Kind::kCanonical, level, c, Dnf()};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   Entry* e = FindLocked(shard, key, hash);
   if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -378,7 +378,7 @@ std::optional<bool> SolverCache::LookupEntails(const Conjunction& lhs,
   Key key{Kind::kEntails, CanonicalLevel::kSyntactic, lhs, rhs};
   size_t hash = BucketHash(key);
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   Entry* e = FindLocked(shard, key, hash);
   if (e != nullptr && !e->tombstone) {
     hits_.fetch_add(1, std::memory_order_relaxed);

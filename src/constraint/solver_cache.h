@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -41,6 +40,7 @@
 #include "constraint/dnf.h"
 #include "exec/governor.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace lyric {
 
@@ -177,11 +177,15 @@ class SolverCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    /// Shard locks never nest with each other (one shard per operation);
+    /// tombstone hits take the governor site lock under them, hence the
+    /// rank ordering kCacheShard < kGovernor.
+    mutable sync::Mutex mu{sync::LockRank::kCacheShard, "cache_shard"};
     /// Front = most recently used.
-    std::list<Entry> lru;
+    std::list<Entry> lru LYRIC_GUARDED_BY(mu);
     /// Structural hash -> entries with that hash (collision chain).
-    std::unordered_map<size_t, std::vector<std::list<Entry>::iterator>> index;
+    std::unordered_map<size_t, std::vector<std::list<Entry>::iterator>> index
+        LYRIC_GUARDED_BY(mu);
   };
 
   static constexpr size_t kShards = 16;
@@ -191,13 +195,15 @@ class SolverCache {
   size_t PerShardCapacity() const;
 
   /// Returns the entry for `key` in its shard (moving it to the LRU front)
-  /// or nullptr. Caller must hold the shard mutex.
-  Entry* FindLocked(Shard& shard, const Key& key, size_t hash);
+  /// or nullptr.
+  Entry* FindLocked(Shard& shard, const Key& key, size_t hash)
+      LYRIC_REQUIRES(shard.mu);
   /// Inserts (or overwrites) `entry`, evicting LRU entries past capacity.
   void StoreEntry(Entry entry);
   std::optional<Status> LookupTombstone(const Key& key);
   void StoreTombstone(Key key);
-  void EraseFromIndexLocked(Shard& shard, std::list<Entry>::iterator it);
+  void EraseFromIndexLocked(Shard& shard, std::list<Entry>::iterator it)
+      LYRIC_REQUIRES(shard.mu);
 
   /// Rough heap footprint of one entry, for the occupancy gauge (exact
   /// accounting would walk every rational; the atom count dominates).

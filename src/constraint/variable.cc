@@ -2,8 +2,9 @@
 
 #include <cassert>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/sync.h"
 
 namespace lyric {
 
@@ -11,12 +12,13 @@ namespace {
 
 // Thread-safe: the parallel evaluator interns variables from worker
 // threads. Names live in a deque so the references handed out by Name()
-// stay stable across later interning.
+// stay stable across later interning. Reads (Name/Count) vastly outnumber
+// writes once a workload warms up, hence the reader/writer lock.
 struct Interner {
-  std::mutex mu;
-  std::unordered_map<std::string, VarId> ids;
-  std::deque<std::string> names;
-  uint64_t fresh_counter = 0;
+  sync::SharedMutex mu{sync::LockRank::kVarInterner, "var_interner"};
+  std::unordered_map<std::string, VarId> ids LYRIC_GUARDED_BY(mu);
+  std::deque<std::string> names LYRIC_GUARDED_BY(mu);
+  uint64_t fresh_counter LYRIC_GUARDED_BY(mu) = 0;
 };
 
 Interner& GetInterner() {
@@ -24,7 +26,8 @@ Interner& GetInterner() {
   return *interner;
 }
 
-VarId InternLocked(Interner& in, const std::string& name) {
+VarId InternLocked(Interner& in, const std::string& name)
+    LYRIC_REQUIRES(in.mu) {
   auto it = in.ids.find(name);
   if (it != in.ids.end()) return it->second;
   VarId id = static_cast<VarId>(in.names.size());
@@ -37,20 +40,20 @@ VarId InternLocked(Interner& in, const std::string& name) {
 
 VarId Variable::Intern(const std::string& name) {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
+  sync::WriterMutexLock lock(in.mu);
   return InternLocked(in, name);
 }
 
 const std::string& Variable::Name(VarId id) {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
+  sync::ReaderMutexLock lock(in.mu);
   assert(id < in.names.size());
   return in.names[id];
 }
 
 VarId Variable::Fresh(const std::string& hint) {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
+  sync::WriterMutexLock lock(in.mu);
   for (;;) {
     std::string candidate = hint + "$" + std::to_string(in.fresh_counter++);
     if (in.ids.find(candidate) == in.ids.end()) {
@@ -61,7 +64,7 @@ VarId Variable::Fresh(const std::string& hint) {
 
 size_t Variable::Count() {
   Interner& in = GetInterner();
-  std::lock_guard<std::mutex> lock(in.mu);
+  sync::ReaderMutexLock lock(in.mu);
   return in.names.size();
 }
 

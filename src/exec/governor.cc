@@ -97,7 +97,7 @@ void CancellationToken::Trip(LimitKind kind, const char* site) {
   if (tripped_.compare_exchange_strong(expected, static_cast<uint8_t>(kind),
                                        std::memory_order_acq_rel)) {
     {
-      std::lock_guard<std::mutex> lock(site_mu_);
+      sync::MutexLock lock(site_mu_);
       trip_site_ = site;
     }
     CountTrip(kind);
@@ -157,7 +157,7 @@ Status CancellationToken::ToStatus() const {
   if (kind == LimitKind::kNone) return Status::OK();
   std::string site;
   {
-    std::lock_guard<std::mutex> lock(site_mu_);
+    sync::MutexLock lock(site_mu_);
     site = trip_site_;
   }
   // Messages stay stable across serial/parallel runs: limit + first site
@@ -193,7 +193,7 @@ GovernorReport CancellationToken::Report() const {
   GovernorReport report;
   report.tripped = tripped_kind();
   {
-    std::lock_guard<std::mutex> lock(site_mu_);
+    sync::MutexLock lock(site_mu_);
     report.site = trip_site_;
   }
   report.bindings_scanned = bindings_.load(std::memory_order_relaxed);

@@ -41,11 +41,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace lyric {
 namespace exec {
@@ -170,6 +170,7 @@ class CancellationToken {
   /// Records the first trip (later trips keep the original kind/site).
   void Trip(LimitKind kind, const char* site);
 
+  // Written only by the constructor; read-only afterwards.
   GovernorLimits limits_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point deadline_at_;  // Valid if deadline.
@@ -178,8 +179,10 @@ class CancellationToken {
   std::atomic<uint64_t> disjuncts_{0};
   std::atomic<uint64_t> bindings_{0};
   std::atomic<uint8_t> tripped_{static_cast<uint8_t>(LimitKind::kNone)};
-  mutable std::mutex site_mu_;
-  std::string trip_site_;
+  // Ranked after the cache shard: tombstone hits ForceTrip under the
+  // shard lock (solver_cache.cc LookupTombstone).
+  mutable sync::Mutex site_mu_{sync::LockRank::kGovernor, "governor_site"};
+  std::string trip_site_ LYRIC_GUARDED_BY(site_mu_);
 };
 
 /// Installs a token as the current thread's ambient governor for the

@@ -97,14 +97,14 @@ QueryScheduler& QueryScheduler::Global() {
 }
 
 void QueryScheduler::Configure(const SchedulerLimits& limits) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   limits_ = limits;
   // Relaxed limits may unblock queued waiters immediately.
   GrantWaitersLocked();
 }
 
 SchedulerLimits QueryScheduler::limits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return limits_;
 }
 
@@ -201,12 +201,12 @@ void QueryScheduler::GrantWaitersLocked() {
   // Grants can originate from Release, Configure, or a newly queued
   // arrival; the granted waiters sleep on cv_ either way, so the grant
   // site itself wakes them (notify-under-lock is well-defined).
-  if (granted_any) cv_.notify_all();
+  if (granted_any) cv_.NotifyAll();
 }
 
 Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
   const auto now = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
 
   // The fault site simulates a full queue regardless of actual load, so
   // the shed + retry path is testable without generating real pressure.
@@ -287,8 +287,7 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
     GrantWaitersLocked();
     while (!it->granted) {
       if (expires_at.has_value()) {
-        if (cv_.wait_until(lock, *expires_at) == std::cv_status::timeout &&
-            !it->granted) {
+        if (cv_.WaitUntil(mu_, *expires_at) && !it->granted) {
           const bool own_deadline =
               it->has_deadline &&
               std::chrono::steady_clock::now() >= it->deadline_at;
@@ -301,7 +300,7 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
                                 : "queue wait timed out");
         }
       } else {
-        cv_.wait(lock);
+        cv_.Wait(mu_);
       }
     }
   }
@@ -320,7 +319,7 @@ Result<AdmissionTicket> QueryScheduler::Admit(const AdmissionRequest& request) {
 
 void QueryScheduler::Release(uint64_t memory,
                              std::chrono::steady_clock::time_point start) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (active_ > 0) --active_;
   reserved_memory_ -= std::min(reserved_memory_, memory);
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
@@ -335,7 +334,7 @@ void QueryScheduler::Release(uint64_t memory,
 }
 
 SchedulerStats QueryScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   SchedulerStats out;
   out.admitted = admitted_;
   out.queued = queued_;
@@ -356,7 +355,7 @@ bool QueryScheduler::WaitForWaiters(uint64_t count, uint64_t timeout_ms) const {
                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       uint64_t waiting = 0;
       for (const Waiter& w : waiters_) {
         if (!w.granted) ++waiting;

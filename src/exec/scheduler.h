@@ -34,16 +34,15 @@
 #define LYRIC_EXEC_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "util/result.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace lyric {
 namespace exec {
@@ -162,8 +161,8 @@ class QueryScheduler {
 
   /// Replaces the limits; applies to future admissions (queries already
   /// running or queued keep the terms they arrived under).
-  void Configure(const SchedulerLimits& limits);
-  SchedulerLimits limits() const;
+  void Configure(const SchedulerLimits& limits) LYRIC_EXCLUDES(mu_);
+  SchedulerLimits limits() const LYRIC_EXCLUDES(mu_);
 
   /// Runs the admission state machine for one arriving query. Blocks
   /// while queued. Returns an admitted ticket, or:
@@ -172,14 +171,16 @@ class QueryScheduler {
   ///     `scheduler` fault site forced a shed;
   ///   * kResourceExhausted when the declared memory budget exceeds the
   ///     whole ledger and could never be admitted (not retryable).
-  Result<AdmissionTicket> Admit(const AdmissionRequest& request);
+  Result<AdmissionTicket> Admit(const AdmissionRequest& request)
+      LYRIC_EXCLUDES(mu_);
 
-  SchedulerStats stats() const;
+  SchedulerStats stats() const LYRIC_EXCLUDES(mu_);
 
   /// Test helper: blocks until at least `count` arrivals are waiting in
   /// the queue, or `timeout_ms` elapses. Lets tests stage deterministic
   /// arrival orders. Returns whether the count was reached.
-  bool WaitForWaiters(uint64_t count, uint64_t timeout_ms) const;
+  bool WaitForWaiters(uint64_t count, uint64_t timeout_ms) const
+      LYRIC_EXCLUDES(mu_);
 
  private:
   friend class AdmissionTicket;
@@ -193,39 +194,40 @@ class QueryScheduler {
     bool degraded = false;
   };
 
-  void Release(uint64_t memory, std::chrono::steady_clock::time_point start);
+  void Release(uint64_t memory, std::chrono::steady_clock::time_point start)
+      LYRIC_EXCLUDES(mu_);
   /// Grants queued waiters in priority order while slots and ledger
-  /// headroom last. Caller holds mu_.
-  void GrantWaitersLocked();
+  /// headroom last.
+  void GrantWaitersLocked() LYRIC_REQUIRES(mu_);
   /// True when a grant made now should be degraded to serial execution.
-  /// Caller holds mu_.
-  bool UnderPressureLocked() const;
-  /// Builds the typed shed status with the retry-after hint. Caller
-  /// holds mu_.
-  Status ShedLocked(const char* why);
-  uint64_t RetryAfterHintLocked() const;
+  bool UnderPressureLocked() const LYRIC_REQUIRES(mu_);
+  /// Builds the typed shed status with the retry-after hint.
+  Status ShedLocked(const char* why) LYRIC_REQUIRES(mu_);
+  uint64_t RetryAfterHintLocked() const LYRIC_REQUIRES(mu_);
   /// Mirrors live state into the "scheduler.*" gauges (Global() instance
   /// only, so per-test schedulers don't clobber the process numbers).
-  /// Caller holds mu_.
-  void PublishGaugesLocked() const;
+  /// The gauge handles are function-local statics: the registry lock
+  /// (rank kObsRegistry) nests legally under mu_ (rank kScheduler) on
+  /// first resolution, and subsequent Sets are plain atomic stores.
+  void PublishGaugesLocked() const LYRIC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  SchedulerLimits limits_;
-  std::list<Waiter> waiters_;
-  uint64_t next_seq_ = 0;
-  uint64_t active_ = 0;
-  uint64_t reserved_memory_ = 0;
+  mutable sync::Mutex mu_{sync::LockRank::kScheduler, "scheduler"};
+  mutable sync::CondVar cv_;
+  SchedulerLimits limits_ LYRIC_GUARDED_BY(mu_);
+  std::list<Waiter> waiters_ LYRIC_GUARDED_BY(mu_);
+  uint64_t next_seq_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t active_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t reserved_memory_ LYRIC_GUARDED_BY(mu_) = 0;
   // Lifetime counters (mirrored into the obs registry as scheduler.*).
-  uint64_t admitted_ = 0;
-  uint64_t queued_ = 0;
-  uint64_t shed_ = 0;
-  uint64_t degraded_ = 0;
-  uint64_t expired_ = 0;
-  uint64_t peak_active_ = 0;
+  uint64_t admitted_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t queued_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t degraded_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t expired_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t peak_active_ LYRIC_GUARDED_BY(mu_) = 0;
   /// EWMA of completed-query durations in ms; feeds the retry-after hint.
-  double avg_duration_ms_ = 0;
-  bool has_avg_ = false;
+  double avg_duration_ms_ LYRIC_GUARDED_BY(mu_) = 0;
+  bool has_avg_ LYRIC_GUARDED_BY(mu_) = false;
 };
 
 // -- Retry policy ----------------------------------------------------------

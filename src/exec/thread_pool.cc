@@ -19,10 +19,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     w.join();
   }
@@ -38,10 +38,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   LYRIC_OBS_COUNT("exec.tasks_submitted");
 }
 
@@ -49,8 +49,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      sync::MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) cv_.Wait(mu_);
       // Drain before exiting so every submitted task runs (chunk results
       // the merge is waiting on must materialize even during shutdown).
       if (queue_.empty()) return;
@@ -68,25 +68,25 @@ size_t ThreadPool::HardwareThreads() {
 
 void ChunkLatch::Done(size_t chunk_index) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (chunk_index < done_bits_.size() && !done_bits_[chunk_index]) {
       done_bits_[chunk_index] = true;
       ++completed_;
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ChunkLatch::WaitFor(size_t chunk_index) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, chunk_index] {
-    return chunk_index >= done_bits_.size() || done_bits_[chunk_index];
-  });
+  sync::MutexLock lock(mu_);
+  while (chunk_index < done_bits_.size() && !done_bits_[chunk_index]) {
+    cv_.Wait(mu_);
+  }
 }
 
 void ChunkLatch::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return completed_ == total_; });
+  sync::MutexLock lock(mu_);
+  while (completed_ != total_) cv_.Wait(mu_);
 }
 
 }  // namespace exec

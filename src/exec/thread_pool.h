@@ -15,13 +15,13 @@
 #ifndef LYRIC_EXEC_THREAD_POOL_H_
 #define LYRIC_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace lyric {
 namespace exec {
@@ -42,19 +42,20 @@ class ThreadPool {
   /// Enqueues a task. Tasks run in FIFO order across the workers; a task
   /// must not submit to the pool it runs on while the pool is being
   /// destroyed.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) LYRIC_EXCLUDES(mu_);
 
   /// The hardware concurrency, at least 1 (std::thread reports 0 when it
   /// cannot tell).
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LYRIC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  sync::Mutex mu_{sync::LockRank::kThreadPool, "thread_pool"};
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ LYRIC_GUARDED_BY(mu_);
+  bool shutting_down_ LYRIC_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker can observe it.
   std::vector<std::thread> workers_;
 };
 
@@ -69,20 +70,20 @@ class ChunkLatch {
       : total_(total), done_bits_(total, false) {}
 
   /// Marks one chunk (by index) complete.
-  void Done(size_t chunk_index);
+  void Done(size_t chunk_index) LYRIC_EXCLUDES(mu_);
 
   /// Blocks until chunk `chunk_index` has completed.
-  void WaitFor(size_t chunk_index);
+  void WaitFor(size_t chunk_index) LYRIC_EXCLUDES(mu_);
 
   /// Blocks until every chunk has completed.
-  void WaitAll();
+  void WaitAll() LYRIC_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t total_;
-  std::vector<bool> done_bits_;
-  size_t completed_ = 0;
+  sync::Mutex mu_{sync::LockRank::kChunkLatch, "chunk_latch"};
+  sync::CondVar cv_;
+  const size_t total_;
+  std::vector<bool> done_bits_ LYRIC_GUARDED_BY(mu_);
+  size_t completed_ LYRIC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace exec

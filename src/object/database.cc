@@ -199,7 +199,7 @@ Result<Oid> Database::InternCst(const CstObject& obj) {
   // CanonicalString runs outside the lock (it may call the simplex); only
   // the store insert is serialized.
   LYRIC_ASSIGN_OR_RETURN(std::string canonical, obj.CanonicalString());
-  std::lock_guard<std::mutex> lock(*cst_mu_);
+  sync::MutexLock lock(*cst_mu_);
   auto it = cst_store_.find(canonical);
   if (it == cst_store_.end()) {
     cst_store_.emplace(canonical, obj);
@@ -212,7 +212,7 @@ Result<CstObject> Database::GetCst(const Oid& oid) const {
     return Status::InvalidArgument("GetCst: " + oid.ToString() +
                                    " is not a CST oid");
   }
-  std::lock_guard<std::mutex> lock(*cst_mu_);
+  sync::MutexLock lock(*cst_mu_);
   auto it = cst_store_.find(oid.AsString());
   if (it == cst_store_.end()) {
     return Status::NotFound("GetCst: unknown CST oid " + oid.ToString());
@@ -221,7 +221,7 @@ Result<CstObject> Database::GetCst(const Oid& oid) const {
 }
 
 size_t Database::CstCount() const {
-  std::lock_guard<std::mutex> lock(*cst_mu_);
+  sync::MutexLock lock(*cst_mu_);
   return cst_store_.size();
 }
 
@@ -282,7 +282,7 @@ std::vector<Oid> Database::Extent(const std::string& class_name) const {
   // CST oids by dimension.
   auto dim = ParseCstClassName(class_name);
   if (dim.has_value() || class_name == kCstClass) {
-    std::lock_guard<std::mutex> lock(*cst_mu_);
+    sync::MutexLock lock(*cst_mu_);
     for (const auto& [canonical, obj] : cst_store_) {
       if (!dim.has_value() || obj.Dimension() == *dim) {
         Oid oid = Oid::Cst(canonical);

@@ -12,7 +12,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +19,7 @@
 #include "object/method.h"
 #include "object/schema.h"
 #include "object/value.h"
+#include "util/sync.h"
 
 namespace lyric {
 
@@ -87,9 +87,9 @@ class Database {
   /// Thread-safe, and order-independent: the oid IS the canonical form, so
   /// concurrent interleavings produce identical oids and an identical
   /// store (the parallel evaluator's workers intern freely).
-  Result<Oid> InternCst(const CstObject& obj);
+  Result<Oid> InternCst(const CstObject& obj) LYRIC_EXCLUDES(*cst_mu_);
   /// The CST object denoted by a CST oid. Thread-safe against InternCst.
-  Result<CstObject> GetCst(const Oid& oid) const;
+  Result<CstObject> GetCst(const Oid& oid) const LYRIC_EXCLUDES(*cst_mu_);
 
   /// Is `oid` an instance of `class_name`? Covers literals (20 : int),
   /// CST oids (dimension n : CST(n) : CST), stored objects (via IS-A),
@@ -111,7 +111,7 @@ class Database {
   }
 
   size_t ObjectCount() const { return objects_.size(); }
-  size_t CstCount() const;
+  size_t CstCount() const LYRIC_EXCLUDES(*cst_mu_);
 
   /// Full integrity sweep: every stored attribute conforms to its
   /// signature, every referenced oid exists where the signature demands
@@ -127,9 +127,12 @@ class Database {
   // Guards cst_store_ only: CST interning is the one database write the
   // parallel evaluator's workers perform (via SELECT construction and the
   // builtin CST methods); every other mutation stays on the merge thread.
-  // Held by pointer so Database remains movable.
-  std::unique_ptr<std::mutex> cst_mu_ = std::make_unique<std::mutex>();
-  std::map<std::string, CstObject> cst_store_;  // canonical -> object
+  // Held by pointer so Database remains movable (sync::Mutex, like
+  // std::mutex, is not).
+  std::unique_ptr<sync::Mutex> cst_mu_ =
+      std::make_unique<sync::Mutex>(sync::LockRank::kCstStore, "cst_store");
+  std::map<std::string, CstObject> cst_store_
+      LYRIC_GUARDED_BY(*cst_mu_);  // canonical -> object
   // Extra instance-of facts (oid may appear for several classes).
   std::map<Oid, std::vector<std::string>> extra_classes_;
 };

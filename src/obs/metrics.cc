@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <algorithm>
 #include <fstream>
+#include <mutex>  // std::call_once/std::once_flag only (allowed by the gate)
 #include <thread>
 
 namespace lyric {
@@ -410,7 +411,7 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
@@ -420,7 +421,7 @@ Counter& Registry::GetCounter(const std::string& name) {
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
@@ -429,7 +430,7 @@ Gauge& Registry::GetGauge(const std::string& name) {
 }
 
 Timer& Registry::GetTimer(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(name, std::unique_ptr<Timer>(new Timer(name)))
@@ -439,7 +440,7 @@ Timer& Registry::GetTimer(const std::string& name) {
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -450,7 +451,7 @@ Histogram& Registry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   MetricsSnapshot out;
   for (const auto& [name, counter] : counters_) {
     out.counters[name] = counter->value();
@@ -480,7 +481,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->value_.store(0, std::memory_order_relaxed);
   }

@@ -42,10 +42,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace lyric {
 namespace obs {
@@ -285,12 +286,12 @@ class Registry {
  public:
   static Registry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Timer& GetTimer(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) LYRIC_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) LYRIC_EXCLUDES(mu_);
+  Timer& GetTimer(const std::string& name) LYRIC_EXCLUDES(mu_);
+  Histogram& GetHistogram(const std::string& name) LYRIC_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const LYRIC_EXCLUDES(mu_);
 
   /// Snapshot().ToPrometheus() / Snapshot().ToJson() — the two wire
   /// formats (shell `.metrics`, the LYRIC_METRICS_OUT flusher, and
@@ -300,16 +301,22 @@ class Registry {
 
   /// Zeroes every registered metric. Tests and benchmark setup only —
   /// production counters are monotonic by contract.
-  void ResetForTesting();
+  void ResetForTesting() LYRIC_EXCLUDES(mu_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Timer>> timers_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The registry lock guards only the name -> object maps; the metric
+  // objects themselves are atomics, updated lock-free after resolution.
+  // Ranked after every subsystem lock (counters resolve under them) and
+  // before the sinks (query log, trace lanes).
+  mutable sync::Mutex mu_{sync::LockRank::kObsRegistry, "obs_registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LYRIC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ LYRIC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>> timers_ LYRIC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      LYRIC_GUARDED_BY(mu_);
 };
 
 /// Escapes `s` for inclusion in a JSON string literal (shared by the

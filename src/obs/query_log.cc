@@ -139,21 +139,30 @@ void QueryLog::Append(QueryLogRecord record) {
   if (record.query.size() > kQueryTextLimit) {
     record.query.resize(kQueryTextLimit);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  record.seq = next_seq_++;
-  record.unix_ms = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-  if (!sink_path_.empty()) {
-    AppendToSinkLocked(record.ToJson() + "\n");
+  // The gauge handle is resolved before taking mu_: GetGauge acquires the
+  // registry lock, which ranks BEFORE the query-log lock in the hierarchy
+  // (registry -> sink). Resolving it under mu_ — as this code originally
+  // did on every append — is a lock-order inversion the rank checker now
+  // aborts on; Set itself is a relaxed atomic store needing no lock.
+  static Gauge& records_gauge =
+      Registry::Global().GetGauge("query_log.records");
+  size_t ring_size = 0;
+  {
+    sync::MutexLock lock(mu_);
+    record.seq = next_seq_++;
+    record.unix_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (!sink_path_.empty()) {
+      AppendToSinkLocked(record.ToJson() + "\n");
+    }
+    ring_.push_back(std::move(record));
+    while (ring_.size() > capacity_) ring_.pop_front();
+    ++total_;
+    ring_size = ring_.size();
   }
-  ring_.push_back(std::move(record));
-  while (ring_.size() > capacity_) ring_.pop_front();
-  ++total_;
-  Registry::Global()
-      .GetGauge("query_log.records")
-      .Set(static_cast<int64_t>(ring_.size()));
+  records_gauge.Set(static_cast<int64_t>(ring_size));
 }
 
 void QueryLog::AppendToSinkLocked(const std::string& line) {
@@ -172,7 +181,7 @@ void QueryLog::AppendToSinkLocked(const std::string& line) {
 }
 
 std::vector<QueryLogRecord> QueryLog::Recent(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   size_t count = std::min(n, ring_.size());
   std::vector<QueryLogRecord> out;
   out.reserve(count);
@@ -183,12 +192,12 @@ std::vector<QueryLogRecord> QueryLog::Recent(size_t n) const {
 }
 
 uint64_t QueryLog::total_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return total_;
 }
 
 void QueryLog::ConfigureSink(const std::string& path, uint64_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   sink_path_ = path;
   sink_max_bytes_ = max_bytes == 0 ? kDefaultSinkMaxBytes : max_bytes;
   sink_bytes_ = 0;
@@ -199,13 +208,13 @@ void QueryLog::ConfigureSink(const std::string& path, uint64_t max_bytes) {
 }
 
 void QueryLog::SetCapacityForTesting(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (ring_.size() > capacity_) ring_.pop_front();
 }
 
 void QueryLog::ClearForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   ring_.clear();
 }
 

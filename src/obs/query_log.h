@@ -22,9 +22,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace lyric {
 namespace obs {
@@ -66,36 +67,40 @@ class QueryLog {
 
   /// Stamps seq/unix_ms, appends to the ring (evicting the oldest record
   /// past capacity) and to the sink when one is configured.
-  void Append(QueryLogRecord record);
+  void Append(QueryLogRecord record) LYRIC_EXCLUDES(mu_);
 
   /// The most recent `n` records, oldest first.
-  std::vector<QueryLogRecord> Recent(size_t n) const;
+  std::vector<QueryLogRecord> Recent(size_t n) const LYRIC_EXCLUDES(mu_);
 
   /// Records accepted since process start (ring evictions included).
-  uint64_t total_appended() const;
+  uint64_t total_appended() const LYRIC_EXCLUDES(mu_);
 
   /// Points the JSONL sink at `path` (empty disables). Replaces any
   /// sink configured from the environment.
-  void ConfigureSink(const std::string& path, uint64_t max_bytes);
+  void ConfigureSink(const std::string& path, uint64_t max_bytes)
+      LYRIC_EXCLUDES(mu_);
 
   /// Shrinks/grows the ring (testing; default capacity 256).
-  void SetCapacityForTesting(size_t capacity);
+  void SetCapacityForTesting(size_t capacity) LYRIC_EXCLUDES(mu_);
   /// Drops all buffered records (testing).
-  void ClearForTesting();
+  void ClearForTesting() LYRIC_EXCLUDES(mu_);
 
  private:
   QueryLog();
 
-  void AppendToSinkLocked(const std::string& line);
+  void AppendToSinkLocked(const std::string& line) LYRIC_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<QueryLogRecord> ring_;
-  size_t capacity_ = 256;
-  uint64_t next_seq_ = 1;
-  uint64_t total_ = 0;
-  std::string sink_path_;
-  uint64_t sink_max_bytes_ = 0;
-  uint64_t sink_bytes_ = 0;
+  // The sink lock ranks after the obs registry: metric handles must be
+  // resolved before taking mu_, never under it (Append hoists its gauge
+  // handle for exactly this reason).
+  mutable sync::Mutex mu_{sync::LockRank::kQueryLog, "query_log"};
+  std::deque<QueryLogRecord> ring_ LYRIC_GUARDED_BY(mu_);
+  size_t capacity_ LYRIC_GUARDED_BY(mu_) = 256;
+  uint64_t next_seq_ LYRIC_GUARDED_BY(mu_) = 1;
+  uint64_t total_ LYRIC_GUARDED_BY(mu_) = 0;
+  std::string sink_path_ LYRIC_GUARDED_BY(mu_);
+  uint64_t sink_max_bytes_ LYRIC_GUARDED_BY(mu_) = 0;
+  uint64_t sink_bytes_ LYRIC_GUARDED_BY(mu_) = 0;
 };
 
 /// The slow-query threshold in milliseconds from LYRIC_SLOW_MS, or 0 when

@@ -92,7 +92,7 @@ internal::TraceLane* TraceCollector::RegisterWorkerLane() {
   worker->lane.root = &worker->container;
   worker->lane.current = &worker->container;
   internal::TraceLane* lane = &worker->lane;
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  sync::MutexLock lock(lanes_mu_);
   worker_lanes_.push_back(std::move(worker));
   return lane;
 }
@@ -100,7 +100,7 @@ internal::TraceLane* TraceCollector::RegisterWorkerLane() {
 std::vector<TraceCollector::WorkerLaneView> TraceCollector::worker_lanes()
     const {
   std::vector<WorkerLaneView> out;
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  sync::MutexLock lock(lanes_mu_);
   out.reserve(worker_lanes_.size());
   for (const auto& worker : worker_lanes_) {
     out.push_back(WorkerLaneView{worker->thread, &worker->container});
@@ -112,7 +112,7 @@ std::string TraceCollector::ToPrettyString() const {
   std::string out;
   AppendPretty(root_, 0, &out);
   std::map<std::thread::id, int> tids;
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  sync::MutexLock lock(lanes_mu_);
   for (const auto& worker : worker_lanes_) {
     if (worker->container.children.empty()) continue;
     auto it = tids.find(worker->thread);
@@ -136,7 +136,7 @@ std::string TraceCollector::ToChromeTraceJson() const {
   // lane-registration order starting at 2. The container node itself is
   // bookkeeping, not a stage — only its children are emitted.
   std::map<std::thread::id, int> tids;
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  sync::MutexLock lock(lanes_mu_);
   for (const auto& worker : worker_lanes_) {
     auto it = tids.find(worker->thread);
     if (it == tids.end()) {

@@ -24,10 +24,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace lyric {
 namespace obs {
@@ -84,17 +85,17 @@ class TraceCollector {
   };
   /// Worker lanes in registration order. Read only after the worker
   /// threads have been joined.
-  std::vector<WorkerLaneView> worker_lanes() const;
+  std::vector<WorkerLaneView> worker_lanes() const LYRIC_EXCLUDES(lanes_mu_);
 
   /// Indented stage breakdown with durations; worker lanes follow the
   /// main tree under "[worker tid=N]" headers.
-  std::string ToPrettyString() const;
+  std::string ToPrettyString() const LYRIC_EXCLUDES(lanes_mu_);
 
   /// Chrome trace_event JSON: {"traceEvents": [{"name", "ph": "X", "ts",
   /// "dur", "pid", "tid"}, ...]} with microsecond timestamps. The main
   /// thread is tid 1; each distinct worker thread gets the next integer
   /// tid in lane-registration order.
-  std::string ToChromeTraceJson() const;
+  std::string ToChromeTraceJson() const LYRIC_EXCLUDES(lanes_mu_);
 
   /// The collector installed on this thread (via ScopedTraceSession or
   /// WorkerTraceScope), or nullptr.
@@ -112,7 +113,7 @@ class TraceCollector {
   };
 
   uint64_t NowNs() const;
-  internal::TraceLane* RegisterWorkerLane();
+  internal::TraceLane* RegisterWorkerLane() LYRIC_EXCLUDES(lanes_mu_);
 
   SpanNode root_;
   internal::TraceLane main_lane_;
@@ -121,8 +122,11 @@ class TraceCollector {
 
   // Guards lane registration only; span recording is lock-free within a
   // lane, and export happens after the owning threads are joined.
-  mutable std::mutex lanes_mu_;
-  std::vector<std::unique_ptr<WorkerLane>> worker_lanes_;
+  // root_/finished_/main_lane_ are single-owner: written by the query
+  // thread only, read after workers join — deliberately unguarded.
+  mutable sync::Mutex lanes_mu_{sync::LockRank::kTraceLanes, "trace_lanes"};
+  std::vector<std::unique_ptr<WorkerLane>> worker_lanes_
+      LYRIC_GUARDED_BY(lanes_mu_);
 };
 
 /// Installs a TraceCollector as the current thread's collector for the

@@ -3,10 +3,11 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
+#include <mutex>  // std::call_once/std::once_flag only (allowed by the gate)
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace lyric {
 namespace fault {
@@ -26,8 +27,10 @@ struct Site {
 };
 
 struct Config {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Site>> sites;  // Stable addresses.
+  sync::Mutex mu{sync::LockRank::kFaultConfig, "fault_config"};  // Leaf lock.
+  // Stable addresses: Inject keeps a Site* after releasing mu (sites are
+  // only ever replaced wholesale before injection begins).
+  std::vector<std::unique_ptr<Site>> sites LYRIC_GUARDED_BY(mu);
   std::once_flag env_once;
 };
 
@@ -91,7 +94,7 @@ bool ParseSpec(const std::string& spec,
   return true;
 }
 
-void LoadEnvLocked(Config& config) {
+void LoadEnvLocked(Config& config) LYRIC_REQUIRES(config.mu) {
   const char* env = std::getenv("LYRIC_FAULT");
   if (env == nullptr || *env == '\0') return;
   std::vector<std::unique_ptr<Site>> sites;
@@ -113,7 +116,7 @@ bool Enabled() {
 void InitFromEnv() {
   Config& config = GlobalConfig();
   std::call_once(config.env_once, [&config] {
-    std::lock_guard<std::mutex> lock(config.mu);
+    sync::MutexLock lock(config.mu);
     LoadEnvLocked(config);
   });
   g_configured.store(true, std::memory_order_release);
@@ -124,7 +127,7 @@ bool Inject(const char* site) {
   Config& config = GlobalConfig();
   Site* match = nullptr;
   {
-    std::lock_guard<std::mutex> lock(config.mu);
+    sync::MutexLock lock(config.mu);
     for (const auto& s : config.sites) {
       if (s->name == site) {
         match = s.get();
@@ -156,7 +159,7 @@ bool ConfigureForTesting(const std::string& spec) {
   std::call_once(config.env_once, [] {});
   std::vector<std::unique_ptr<Site>> sites;
   if (!spec.empty() && !ParseSpec(spec, &sites)) return false;
-  std::lock_guard<std::mutex> lock(config.mu);
+  sync::MutexLock lock(config.mu);
   config.sites = std::move(sites);
   g_enabled.store(!config.sites.empty(), std::memory_order_relaxed);
   g_configured.store(true, std::memory_order_release);

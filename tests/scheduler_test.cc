@@ -8,11 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/fault.h"
+#include "util/sync.h"
 
 namespace lyric {
 namespace exec {
@@ -138,7 +138,7 @@ TEST(SchedulerTest, QueueGrantsAreDegradedAndFifoWithinDeadline) {
   auto held = sched.Admit(Req());
   ASSERT_TRUE(held.ok());
 
-  std::mutex mu;
+  lyric::sync::Mutex mu;
   std::vector<int> grant_order;
   std::vector<std::thread> threads;
   // Stage waiters one at a time so arrival order (seq) is deterministic:
@@ -151,7 +151,7 @@ TEST(SchedulerTest, QueueGrantsAreDegradedAndFifoWithinDeadline) {
       auto t = sched.Admit(Req(deadlines[id]));
       ASSERT_TRUE(t.ok()) << t.status();
       EXPECT_TRUE(t->degraded());  // Every grant off the queue degrades.
-      std::lock_guard<std::mutex> lock(mu);
+      lyric::sync::MutexLock lock(mu);
       grant_order.push_back(id);
       // Hold briefly so the next grant happens strictly after this record.
       // (Grants only occur on Release; ticket destruction below is that
