@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cc" "src/net/CMakeFiles/lyric_net.dir/client.cc.o" "gcc" "src/net/CMakeFiles/lyric_net.dir/client.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/lyric_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/lyric_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/net/CMakeFiles/lyric_net.dir/server.cc.o" "gcc" "src/net/CMakeFiles/lyric_net.dir/server.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/lyric_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/lyric_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/query/CMakeFiles/lyric_query.dir/DependInfo.cmake"
+  "/root/repo/src/exec/CMakeFiles/lyric_exec.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/lyric_obs.dir/DependInfo.cmake"
+  "/root/repo/src/object/CMakeFiles/lyric_object.dir/DependInfo.cmake"
+  "/root/repo/src/constraint/CMakeFiles/lyric_constraint.dir/DependInfo.cmake"
+  "/root/repo/src/arith/CMakeFiles/lyric_arith.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/lyric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

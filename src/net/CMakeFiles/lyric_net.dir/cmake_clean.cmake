@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyric_net.dir/client.cc.o"
+  "CMakeFiles/lyric_net.dir/client.cc.o.d"
+  "CMakeFiles/lyric_net.dir/frame.cc.o"
+  "CMakeFiles/lyric_net.dir/frame.cc.o.d"
+  "CMakeFiles/lyric_net.dir/server.cc.o"
+  "CMakeFiles/lyric_net.dir/server.cc.o.d"
+  "CMakeFiles/lyric_net.dir/socket.cc.o"
+  "CMakeFiles/lyric_net.dir/socket.cc.o.d"
+  "liblyric_net.a"
+  "liblyric_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyric_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblyric_net.a"
+)

@@ -1,0 +1,307 @@
+#include "net/server.h"
+
+#include <cctype>
+#include <chrono>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lyric {
+namespace net {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Gauge& ActiveGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("net.connections.active");
+  return gauge;
+}
+
+}  // namespace
+
+bool IsSchemaMutation(const std::string& query) {
+  size_t i = 0;
+  const size_t n = query.size();
+  for (;;) {
+    while (i < n && std::isspace(static_cast<unsigned char>(query[i]))) ++i;
+    if (i + 1 < n && query[i] == '-' && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    break;
+  }
+  // A textual pre-check, not a parse: only CREATE can mutate the schema,
+  // and a false positive merely serializes one read query.
+  constexpr char kCreate[] = "CREATE";
+  for (size_t k = 0; k < 6; ++k) {
+    if (i + k >= n ||
+        std::toupper(static_cast<unsigned char>(query[i + k])) != kCreate[k]) {
+      return false;
+    }
+  }
+  // Require a word boundary so e.g. "CREATED" (not a keyword today, but
+  // cheap to be exact) does not take the exclusive gate.
+  return i + 6 >= n || !std::isalnum(static_cast<unsigned char>(query[i + 6]));
+}
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server: already started");
+  }
+  Status st = listener_.Bind(options_.host, options_.port);
+  if (!st.ok()) return st;
+  port_ = listener_.port();
+  const size_t workers = options_.exec_threads != 0
+                             ? options_.exec_threads
+                             : exec::ThreadPool::HardwareThreads();
+  pool_ = std::make_unique<exec::ThreadPool>(workers);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept thread first so no session can be registered after
+  // the sweep below.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake every reader blocked in recv(), then join outside the lock —
+  // a reader marking itself done never needs mu_, but joining under it
+  // would still serialize teardown needlessly.
+  std::vector<std::unique_ptr<Session>> victims;
+  {
+    sync::MutexLock lock(mu_);
+    for (auto& [id, session] : sessions_) {
+      session->socket.ShutdownBoth();
+      victims.push_back(std::move(session));
+    }
+    sessions_.clear();
+  }
+  for (auto& session : victims) {
+    if (session->reader.joinable()) session->reader.join();
+    ActiveGauge().Add(-1);
+  }
+  // Readers are gone, so no task can still be queued; destroying the
+  // pool drains stragglers and joins the workers.
+  pool_.reset();
+  listener_.Close();
+}
+
+size_t Server::active_sessions() const {
+  sync::MutexLock lock(mu_);
+  size_t live = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<Socket> accepted = listener_.Accept();
+    ReapFinished();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure (resource pressure, injected `net`
+      // fault killing a handshake): the server must keep serving.
+      LYRIC_OBS_COUNT("net.accept_errors");
+      continue;
+    }
+    LYRIC_OBS_COUNT("net.connections.accepted");
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    ActiveGauge().Add(1);
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(*accepted);
+    Session* raw = session.get();
+    sync::MutexLock lock(mu_);
+    session->id = next_session_id_++;
+    raw->reader = std::thread([this, raw] { ServeConnection(raw); });
+    sessions_.emplace(raw->id, std::move(session));
+  }
+}
+
+void Server::ReapFinished() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    sync::MutexLock lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& session : finished) {
+    if (session->reader.joinable()) session->reader.join();
+    ActiveGauge().Add(-1);
+  }
+}
+
+void Server::ServeConnection(Session* session) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Status st = ServeOneFrame(session);
+    if (!st.ok()) break;
+  }
+  session->socket.Close();
+  session->done.store(true, std::memory_order_release);
+}
+
+Status Server::ServeOneFrame(Session* session) {
+  char header_bytes[kFrameHeaderBytes];
+  bool clean_eof = false;
+  Status st =
+      session->socket.ReadFull(header_bytes, kFrameHeaderBytes, &clean_eof);
+  if (!st.ok()) {
+    // A peer closing between frames is the normal end of a session; a
+    // close mid-header is not, but there is nobody left to tell.
+    if (!clean_eof) LYRIC_OBS_COUNT("net.disconnects");
+    return st;
+  }
+  FrameHeader header;
+  st = DecodeFrameHeader(header_bytes, kFrameHeaderBytes,
+                         options_.max_payload_bytes, &header);
+  if (!st.ok()) {
+    LYRIC_OBS_COUNT("net.protocol_errors");
+    SendProtocolError(session->socket, st);
+    return st;
+  }
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len != 0) {
+    st = session->socket.ReadFull(payload.data(), payload.size());
+    if (!st.ok()) {
+      LYRIC_OBS_COUNT("net.disconnects");
+      return st;
+    }
+  }
+  LYRIC_OBS_COUNT("net.frames.received");
+
+  const uint64_t start_ns = NowNanos();
+  switch (header.type) {
+    case FrameType::kPing: {
+      if (!payload.empty()) {
+        Status violation =
+            Status::InvalidArgument("frame: PING carries a payload");
+        LYRIC_OBS_COUNT("net.protocol_errors");
+        SendProtocolError(session->socket, violation);
+        return violation;
+      }
+      st = SendFrame(session->socket, FrameType::kPong, std::string());
+      break;
+    }
+    case FrameType::kQuery: {
+      QueryRequest request;
+      st = DecodeQueryRequest(payload, &request);
+      if (!st.ok()) {
+        LYRIC_OBS_COUNT("net.protocol_errors");
+        SendProtocolError(session->socket, st);
+        return st;
+      }
+      // Dispatch the evaluation onto the pool and wait: requests on one
+      // connection stay ordered, concurrency comes from other sessions.
+      QueryResponse response;
+      exec::ChunkLatch latch(1);
+      pool_->Submit([this, &request, &response, &latch] {
+        response = HandleQuery(request);
+        latch.Done(0);
+      });
+      latch.WaitFor(0);
+      st = SendFrame(session->socket, FrameType::kResult,
+                     EncodeQueryResponse(response));
+      break;
+    }
+    default: {
+      // kResult/kPong/kError only ever travel server -> client.
+      Status violation = Status::InvalidArgument(
+          "frame: unexpected client frame type " +
+          std::to_string(static_cast<int>(header.type)));
+      LYRIC_OBS_COUNT("net.protocol_errors");
+      SendProtocolError(session->socket, violation);
+      return violation;
+    }
+  }
+  if (st.ok()) LYRIC_OBS_RECORD("net.frame.latency", NowNanos() - start_ns);
+  return st;
+}
+
+QueryResponse Server::HandleQuery(const QueryRequest& request) {
+  EvalOptions opts = options_.eval;
+  if (request.deadline_ms.has_value()) opts.deadline_ms = request.deadline_ms;
+  if (request.memory_budget.has_value()) {
+    opts.memory_budget = request.memory_budget;
+  }
+  if (request.threads != 0) opts.threads = request.threads;
+  if (request.max_rows != 0) opts.max_rows = request.max_rows;
+  if (request.analyze_first) opts.analyze_first = true;
+  if (options_.scheduler != nullptr) opts.scheduler = options_.scheduler;
+  // The client owns retry: a shed must reach the wire as a typed
+  // kUnavailable with its retry-after hint, not be absorbed by a
+  // server-side loop that inherited LYRIC_RETRY from the environment.
+  if (!opts.retry.has_value()) opts.retry = exec::RetryPolicy{};
+
+  // Exception firewall: a pool worker must never unwind into
+  // std::terminate, whatever the evaluator throws.
+  try {
+    if (IsSchemaMutation(request.query)) {
+      sync::WriterMutexLock gate(schema_gate_);
+      Evaluator evaluator(db_, opts);
+      return ResponseFromResult(evaluator.Execute(request.query));
+    }
+    sync::ReaderMutexLock gate(schema_gate_);
+    Evaluator evaluator(db_, opts);
+    return ResponseFromResult(evaluator.Execute(request.query));
+  } catch (const std::exception& e) {
+    QueryResponse response;
+    response.status =
+        Status::Internal(std::string("server: evaluation threw: ") + e.what());
+    return response;
+  } catch (...) {
+    QueryResponse response;
+    response.status = Status::Internal("server: evaluation threw");
+    return response;
+  }
+}
+
+Status Server::SendFrame(Socket& socket, FrameType type,
+                         const std::string& payload) {
+  char header_bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), header_bytes);
+  std::string frame(header_bytes, kFrameHeaderBytes);
+  frame.append(payload);
+  // One write per frame: header+payload must never interleave with
+  // another thread's bytes (they cannot today — one reader per session —
+  // but a single syscall also halves the loopback wakeups).
+  Status st = socket.WriteFull(frame.data(), frame.size());
+  if (st.ok()) LYRIC_OBS_COUNT("net.frames.sent");
+  return st;
+}
+
+void Server::SendProtocolError(Socket& socket, const Status& violation) {
+  WireError error;
+  error.code = violation.code();
+  error.message = violation.message();
+  // Best-effort: the peer may already be gone, and the connection is
+  // being torn down either way.
+  (void)SendFrame(socket, FrameType::kError, EncodeWireError(error));
+}
+
+}  // namespace net
+}  // namespace lyric

@@ -1,0 +1,163 @@
+// lyric_serverd: a long-lived multi-client TCP query server.
+//
+// Architecture (docs/SERVER.md):
+//
+//   * one accept thread owns the Listener; each accepted connection gets
+//     a Session (id, socket, reader thread) in a registry guarded by a
+//     kNetSession-ranked mutex. Reader threads are cheap — they spend
+//     their lives blocked in recv().
+//   * a reader thread parses one frame at a time and dispatches query
+//     evaluation onto the server's exec::ThreadPool, then waits for the
+//     result before reading the next frame — requests on one connection
+//     are strictly ordered, concurrency comes from having many
+//     connections share the pool.
+//   * per-request deadline/budget/thread options overlay the server's
+//     base EvalOptions, so the PR-5 admission machinery (queueing,
+//     degrade-to-serial, typed kUnavailable sheds with retry-after
+//     hints) and the PR-4 governor (PARTIAL results) are end-to-end
+//     visible on the wire.
+//   * CREATE VIEW queries mutate the schema, which concurrent readers
+//     scan unlocked; a server-wide SharedMutex (rank kNetSchemaGate)
+//     serializes them: shared for reads, exclusive for view creation.
+//   * protocol violations get a best-effort kError frame and the
+//     connection is closed; transport failures (including injected
+//     LYRIC_FAULT=net faults) drop the connection. Either way the
+//     session is reaped — Stop() and the fault tests assert nothing
+//     leaks.
+//
+// Observability: connection counts ride the net.connections.* counters
+// and the net.connections.active gauge, per-frame service time lands in
+// the net.frame.latency histogram, and protocol violations count into
+// net.protocol_errors — all in the PR-6 registry, so `.metrics` /
+// lyric_stats / the Prometheus flusher see the server for free.
+
+#ifndef LYRIC_NET_SERVER_H_
+#define LYRIC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "exec/scheduler.h"
+#include "exec/thread_pool.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "object/database.h"
+#include "query/evaluator.h"
+#include "util/sync.h"
+
+namespace lyric {
+namespace net {
+
+/// Server knobs.
+struct ServerOptions {
+  /// Bind address; loopback by default (a reproduction, not a product —
+  /// there is no authentication on this protocol).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read Server::port() after Start.
+  uint16_t port = 0;
+  /// Workers in the evaluation pool requests are dispatched onto.
+  /// 0 = exec::ThreadPool::HardwareThreads().
+  size_t exec_threads = 0;
+  /// Receive-side frame payload cap.
+  uint32_t max_payload_bytes = kMaxPayloadBytes;
+  /// Base evaluation options; per-request fields overlay these. The
+  /// server never retries internally (retry is forced off unless set
+  /// here explicitly): sheds travel to the client, whose RetryPolicy
+  /// owns backoff.
+  EvalOptions eval;
+  /// Admission goes through this scheduler when set (tests); the
+  /// process-wide QueryScheduler::Global() otherwise.
+  exec::QueryScheduler* scheduler = nullptr;
+};
+
+/// The server. Start() returns once the listener is live; Stop() (or the
+/// destructor) tears down every session and joins every thread.
+class Server {
+ public:
+  explicit Server(Database* db, ServerOptions options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, spawns the pool and the accept thread. InvalidArgument if
+  /// already started; bind failures pass through.
+  Status Start();
+
+  /// Idempotent full teardown: stops accepting, shuts down every
+  /// session's socket, joins reader threads, drains the pool.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  /// Live (not yet reaped) sessions. 0 after Stop, and — the fault-gate
+  /// contract — 0 once every client has disconnected, faults included.
+  size_t active_sessions() const LYRIC_EXCLUDES(mu_);
+  /// Lifetime accepted-connection count.
+  uint64_t sessions_opened() const {
+    return sessions_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One connection: identity, transport, and its reader thread.
+  struct Session {
+    uint64_t id = 0;
+    Socket socket;
+    std::thread reader;
+    /// Set by the reader as its last act; the accept loop and Stop reap
+    /// (join + erase) sessions whose flag is up.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Session* session);
+  /// Reads and serves one frame. Non-OK means the connection is finished
+  /// (clean close, transport failure, or protocol violation).
+  Status ServeOneFrame(Session* session);
+  /// Evaluates one request under the schema gate; never throws.
+  QueryResponse HandleQuery(const QueryRequest& req);
+  Status SendFrame(Socket& socket, FrameType type,
+                   const std::string& payload);
+  /// Best-effort kError frame; the caller closes the connection.
+  void SendProtocolError(Socket& socket, const Status& violation);
+
+  /// Joins and erases sessions whose reader has finished.
+  void ReapFinished() LYRIC_EXCLUDES(mu_);
+
+  Database* db_;
+  ServerOptions options_;
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> sessions_opened_{0};
+
+  mutable sync::Mutex mu_{sync::LockRank::kNetSession, "net_session"};
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_
+      LYRIC_GUARDED_BY(mu_);
+  uint64_t next_session_id_ LYRIC_GUARDED_BY(mu_) = 1;
+
+  /// Readers share, CREATE VIEW excludes. Acquired on pool workers for
+  /// the duration of one evaluation; ranked before every lock evaluation
+  /// takes (docs/CONCURRENCY.md).
+  sync::SharedMutex schema_gate_{sync::LockRank::kNetSchemaGate,
+                                 "net_schema_gate"};
+};
+
+/// True when `query` starts (after whitespace and `--` comments) with a
+/// schema-mutating keyword (CREATE); such queries take the schema gate
+/// exclusively. Exposed for tests.
+bool IsSchemaMutation(const std::string& query);
+
+}  // namespace net
+}  // namespace lyric
+
+#endif  // LYRIC_NET_SERVER_H_

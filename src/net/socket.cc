@@ -1,0 +1,210 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+
+namespace lyric {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string("net: ") + what + " failed: " +
+                             std::strerror(errno));
+}
+
+bool InjectNetFault() {
+  if (fault::Enabled() && fault::Inject(fault::kSiteNet)) {
+    LYRIC_OBS_COUNT("net.faults.injected");
+    return true;
+  }
+  return false;
+}
+
+Status InjectedFault(const char* what) {
+  return Status::Unavailable(std::string("net: injected ") + what +
+                             " fault");
+}
+
+/// Query latency over loopback is dominated by Nagle-delayed ACK
+/// interaction without this; every test and the load generator run over
+/// loopback, so just always disable coalescing.
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  if (InjectNetFault()) return InjectedFault("connect");
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("net: resolve '" + host +
+                               "' failed: " + ::gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("net: no addresses for '" + host + "'");
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("connect");
+      ::close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    ::freeaddrinfo(res);
+    return Socket(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Status Socket::ReadFull(void* buf, size_t len, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  if (!valid()) return Status::Unavailable("net: read on closed socket");
+  if (InjectNetFault()) return InjectedFault("read");
+  char* out = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, out + got, len - got, 0);
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::Unavailable(
+          got == 0 ? "net: connection closed"
+                   : "net: connection closed mid-frame (" +
+                         std::to_string(got) + " of " + std::to_string(len) +
+                         " bytes)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFull(const void* buf, size_t len) {
+  if (!valid()) return Status::Unavailable("net: write on closed socket");
+  if (InjectNetFault()) return InjectedFault("write");
+  const char* data = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as a
+    // Status, never as a process-killing SIGPIPE.
+    ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownBoth() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Listener::Bind(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bind host '" + host +
+                                   "' is not an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept() {
+  if (!valid()) return Status::Unavailable("net: accept on closed listener");
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  // Injecting after the accept models a handshake that dies immediately:
+  // the connection existed, the server must still clean it up.
+  if (InjectNetFault()) {
+    ::close(fd);
+    return InjectedFault("accept");
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+void Listener::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+}  // namespace net
+}  // namespace lyric

@@ -223,6 +223,18 @@ Result<ResultSet> Evaluator::ExecuteLogged(const std::string* text,
   LYRIC_OBS_RECORD("query.latency", duration_ns);
   active_gauge.Add(-1);
 
+  if (r.ok()) {
+    // Surface the admission facts on the result so callers that cannot
+    // reach the query log (the network server serializing a response)
+    // still see how the scheduler treated this query.
+    AdmissionInfo admission;
+    admission.mode = t_eval_log.admission;
+    admission.queue_wait_ns = t_eval_log.queue_wait_ns;
+    admission.threads = t_eval_log.threads;
+    admission.retries = retries;
+    r->set_admission(std::move(admission));
+  }
+
   const SolverCache::Traffic cache_after = SolverCache::Global().traffic();
   obs::QueryLogRecord rec;
   rec.query = text != nullptr ? *text : SummarizeAstQuery(*parsed);

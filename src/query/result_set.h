@@ -16,6 +16,21 @@
 
 namespace lyric {
 
+/// How admission control treated the evaluation that produced a result
+/// (docs/ROBUSTNESS.md state machine). Timing fields are wall-clock
+/// facts, not part of the deterministic answer — differential tests
+/// compare results without them.
+struct AdmissionInfo {
+  /// "off" (no scheduling), "direct", "queued", or "degraded".
+  std::string mode = "off";
+  /// Time spent parked in the scheduler's wait queue (0 for direct).
+  uint64_t queue_wait_ns = 0;
+  /// Worker threads the evaluation actually used (1 after degradation).
+  uint32_t threads = 1;
+  /// Transient (kUnavailable) failures retried away before this result.
+  uint32_t retries = 0;
+};
+
 /// A query result: named columns over rows of oids. Rows are deduplicated
 /// (the answer of a query is a set).
 class ResultSet {
@@ -77,6 +92,14 @@ class ResultSet {
     governor_report_ = std::move(report);
   }
 
+  /// The admission-control record of the evaluation (mode, queue wait,
+  /// degraded thread count, retries). Default-constructed ("off") for
+  /// nested evaluations — only the outermost Execute is scheduled.
+  const AdmissionInfo& admission() const { return admission_; }
+  void set_admission(AdmissionInfo admission) {
+    admission_ = std::move(admission);
+  }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<Oid>> rows_;
@@ -85,6 +108,7 @@ class ResultSet {
   std::vector<Diagnostic> diagnostics_;
   Status governor_status_ = Status::OK();
   exec::GovernorReport governor_report_;
+  AdmissionInfo admission_;
 };
 
 }  // namespace lyric

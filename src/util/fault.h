@@ -31,6 +31,10 @@
 //                 loss only — query results unaffected)
 //   scheduler     admission control sheds the arrival as if the wait queue
 //                 were full (typed kUnavailable + retry-after hint)
+//   net           lyric_serverd transport: accept/read/write calls fail
+//                 with kUnavailable; the server drops the connection (the
+//                 session is reaped, nothing leaks) and the client
+//                 reconnects under its RetryPolicy
 
 #ifndef LYRIC_UTIL_FAULT_H_
 #define LYRIC_UTIL_FAULT_H_
@@ -49,6 +53,7 @@ inline constexpr const char* kSiteShell = "shell";
 inline constexpr const char* kSiteMerge = "merge";
 inline constexpr const char* kSiteTrace = "trace";
 inline constexpr const char* kSiteScheduler = "scheduler";
+inline constexpr const char* kSiteNet = "net";
 
 /// True when any site is armed (cheap: one relaxed atomic load). Callers
 /// on hot paths may use this to skip building arguments.

@@ -103,6 +103,14 @@ enum class LockRank : int {
   /// Excluded from order checking (tests, short-lived local locks).
   /// Recursive-acquisition detection still applies.
   kUnranked = 0,
+  /// lyric_serverd session registry (net/server.h). First: the accept
+  /// loop registers/reaps sessions and publishes connection gauges, but
+  /// never holds this lock across query evaluation.
+  kNetSession = 4,
+  /// lyric_serverd schema gate (net/server.h): shared for read queries,
+  /// exclusive for CREATE VIEW. Held across a whole evaluation, so it
+  /// must rank before every lock evaluation can take (scheduler first).
+  kNetSchemaGate = 6,
   /// QueryScheduler admission ledger + wait queue (exec/scheduler.h).
   kScheduler = 10,
   /// ThreadPool task queue (exec/thread_pool.h).

@@ -1,0 +1,74 @@
+// Fuzz harness for the lyric_serverd wire protocol: arbitrary bytes fed
+// to the frame decoders must produce either a decoded message or a
+// typed Status — never a crash, unbounded allocation, or an
+// encode/decode disagreement. Covers truncated length prefixes (every
+// short input), oversized and zero-length frames, bad magic/version
+// bytes, and payloads whose internal lengths lie.
+//
+// Round-trip property: any payload the decoders accept must re-encode
+// into bytes the decoders accept again, yielding the same message —
+// otherwise server and client could disagree about what was said.
+//
+// Build with -DLYRIC_FUZZERS=ON (libFuzzer under Clang, corpus-replay
+// driver elsewhere; see CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Header decoding over the raw prefix (any length, including short).
+  lyric::net::FrameHeader header;
+  (void)lyric::net::DecodeFrameHeader(bytes.data(), bytes.size(),
+                                      lyric::net::kMaxPayloadBytes, &header);
+
+  // Payload decoding over the post-header remainder when there is one,
+  // else the whole input — both shapes find bugs.
+  const std::string payload = bytes.size() > lyric::net::kFrameHeaderBytes
+                                  ? bytes.substr(lyric::net::kFrameHeaderBytes)
+                                  : bytes;
+
+  lyric::net::QueryRequest request;
+  if (lyric::net::DecodeQueryRequest(payload, &request).ok()) {
+    lyric::net::QueryRequest again;
+    if (!lyric::net::DecodeQueryRequest(
+             lyric::net::EncodeQueryRequest(request), &again)
+             .ok()) {
+      __builtin_trap();
+    }
+    if (!(again == request)) __builtin_trap();
+  }
+
+  lyric::net::QueryResponse response;
+  if (lyric::net::DecodeQueryResponse(payload, &response).ok()) {
+    lyric::net::QueryResponse again;
+    if (!lyric::net::DecodeQueryResponse(
+             lyric::net::EncodeQueryResponse(response), &again)
+             .ok()) {
+      __builtin_trap();
+    }
+    if (again.Fingerprint() != response.Fingerprint()) __builtin_trap();
+    if (again.status.retry_after_ms() != response.status.retry_after_ms()) {
+      __builtin_trap();
+    }
+  }
+
+  lyric::net::WireError error;
+  if (lyric::net::DecodeWireError(payload, &error).ok()) {
+    lyric::net::WireError again;
+    if (!lyric::net::DecodeWireError(lyric::net::EncodeWireError(error),
+                                     &again)
+             .ok()) {
+      __builtin_trap();
+    }
+    if (again.code != error.code || again.message != error.message) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

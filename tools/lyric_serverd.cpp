@@ -1,0 +1,183 @@
+// lyric_serverd: the standalone LyriC query server.
+//
+//   lyric_serverd [--host 127.0.0.1] [--port 7464] [--load dump.lyricdb]
+//                 [--scale N] [--exec-threads N] [--eval-threads N]
+//                 [--max-rows N] [--max-concurrent N] [--queue-capacity N]
+//                 [--queue-timeout-ms N] [--max-memory BYTES]
+//
+// Serves either a persisted database dump (--load, the storage-layer
+// text format) or the built-in Figure 2 office database (optionally
+// grown with --scale extra desks) until SIGINT/SIGTERM. The admission
+// flags configure a scheduler owned by this process; with none given the
+// evaluator falls back to the process-wide scheduler and its
+// LYRIC_MAX_CONCURRENT / LYRIC_QUEUE_* environment limits.
+//
+// Protocol, frame layout, and error mapping: docs/SERVER.md. Talk to it
+// with net::Client or tools/lyric_loadgen.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "exec/scheduler.h"
+#include "net/server.h"
+#include "office/office_db.h"
+#include "storage/serializer.h"
+
+namespace {
+
+using lyric::Database;
+using lyric::Status;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 7464;
+  std::string load;  // empty = built-in office database
+  int scale = 0;
+  size_t exec_threads = 0;  // 0 = hardware concurrency
+  size_t eval_threads = 0;  // 0 = evaluator default
+  uint64_t max_rows = 0;
+  std::optional<uint64_t> max_concurrent;
+  std::optional<uint64_t> queue_capacity;
+  std::optional<uint64_t> queue_timeout_ms;
+  std::optional<uint64_t> max_memory;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "lyric_serverd: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--host") {
+      if ((v = next("--host")) == nullptr) return false;
+      opt->host = v;
+    } else if (arg == "--port") {
+      if ((v = next("--port")) == nullptr) return false;
+      opt->port = std::atoi(v);
+    } else if (arg == "--load") {
+      if ((v = next("--load")) == nullptr) return false;
+      opt->load = v;
+    } else if (arg == "--scale") {
+      if ((v = next("--scale")) == nullptr) return false;
+      opt->scale = std::atoi(v);
+    } else if (arg == "--exec-threads") {
+      if ((v = next("--exec-threads")) == nullptr) return false;
+      opt->exec_threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--eval-threads") {
+      if ((v = next("--eval-threads")) == nullptr) return false;
+      opt->eval_threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-rows") {
+      if ((v = next("--max-rows")) == nullptr) return false;
+      opt->max_rows = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-concurrent") {
+      if ((v = next("--max-concurrent")) == nullptr) return false;
+      opt->max_concurrent = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--queue-capacity") {
+      if ((v = next("--queue-capacity")) == nullptr) return false;
+      opt->queue_capacity = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--queue-timeout-ms") {
+      if ((v = next("--queue-timeout-ms")) == nullptr) return false;
+      opt->queue_timeout_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-memory") {
+      if ((v = next("--max-memory")) == nullptr) return false;
+      opt->max_memory = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: lyric_serverd [--host H] [--port P] "
+                   "[--load FILE] [--scale N] [--exec-threads N] "
+                   "[--eval-threads N] [--max-rows N] [--max-concurrent N] "
+                   "[--queue-capacity N] [--queue-timeout-ms N] "
+                   "[--max-memory BYTES]\n";
+      return false;
+    } else {
+      std::cerr << "lyric_serverd: unknown flag " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return 2;
+
+  Database db;
+  if (!opt.load.empty()) {
+    Status st = lyric::Serializer::LoadFromFile(opt.load, &db);
+    if (!st.ok()) {
+      std::cerr << "lyric_serverd: load failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "lyric_serverd: loaded " << opt.load << "\n";
+  } else {
+    auto ids = lyric::office::BuildOfficeDatabase(&db);
+    if (!ids.ok()) {
+      std::cerr << "lyric_serverd: office build failed: "
+                << ids.status().ToString() << "\n";
+      return 1;
+    }
+    if (opt.scale > 0) {
+      Status st = lyric::office::AddScaledDesks(&db, opt.scale, /*seed=*/7);
+      if (!st.ok()) {
+        std::cerr << "lyric_serverd: scale failed: " << st.ToString() << "\n";
+        return 1;
+      }
+    }
+    std::cout << "lyric_serverd: serving the built-in office database"
+              << (opt.scale > 0 ? " (+" + std::to_string(opt.scale) + " desks)"
+                                : "")
+              << "\n";
+  }
+
+  lyric::exec::SchedulerLimits limits;
+  limits.max_concurrent = opt.max_concurrent;
+  limits.queue_capacity = opt.queue_capacity;
+  limits.queue_timeout_ms = opt.queue_timeout_ms;
+  limits.max_total_memory = opt.max_memory;
+  lyric::exec::QueryScheduler scheduler(limits);
+
+  lyric::net::ServerOptions sopts;
+  sopts.host = opt.host;
+  sopts.port = opt.port;
+  sopts.exec_threads = opt.exec_threads;
+  // 0 means "keep the evaluator default" for these flags — EvalOptions
+  // itself treats 0 literally (max_rows = 0 rejects every row).
+  if (opt.eval_threads > 0) sopts.eval.threads = opt.eval_threads;
+  if (opt.max_rows > 0) sopts.eval.max_rows = opt.max_rows;
+  if (limits.Any()) sopts.scheduler = &scheduler;
+
+  lyric::net::Server server(&db, sopts);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::cerr << "lyric_serverd: start failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "lyric_serverd: listening on " << opt.host << ":"
+            << server.port() << (limits.Any() ? " (admission limits on)" : "")
+            << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::cout << "lyric_serverd: shutting down ("
+            << server.sessions_opened() << " sessions served)\n";
+  server.Stop();
+  return 0;
+}
