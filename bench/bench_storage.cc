@@ -1,10 +1,19 @@
-// Persistence costs: dumping and loading scale linearly with the
-// database; constraint bodies round-trip through canonical forms, so
-// loading re-parses and re-interns each distinct constraint once.
+// Persistence costs. Part one: Serializer dump/load scales linearly with
+// the database; constraint bodies round-trip through canonical forms, so
+// loading re-parses and re-interns each distinct constraint once. Part
+// two: the paged engine (PagedStore) — commit latency is fsync-bound,
+// checkpoint amortizes page writeback, and recovery replays the WAL at
+// sequential-read speed.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
 #include "office/office_db.h"
+#include "storage/paged_store.h"
 #include "storage/serializer.h"
 
 namespace lyric {
@@ -57,6 +66,165 @@ void BM_RoundTrip(benchmark::State& state) {
   state.counters["objects"] = static_cast<double>(db.ObjectCount());
 }
 BENCHMARK(BM_RoundTrip)->Arg(16);
+
+// -- paged engine ----------------------------------------------------------
+
+std::string BenchStorePath() {
+  return "/tmp/lyric_bench_store_" + std::to_string(::getpid()) + ".lyricpg";
+}
+
+void RemoveStoreFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove(storage::PagedStore::WalPathFor(path).c_str());
+}
+
+std::string BenchValue(int i) {
+  // ~120 bytes: the order of magnitude of one serialized attribute line.
+  std::string v = "value-" + std::to_string(i) + "-";
+  v.resize(120, 'x');
+  return v;
+}
+
+/// One Put + one durable Commit per iteration — the engine's fsync-bound
+/// floor. `sync` toggles the WAL fsync so the bench separates the log
+/// append cost from the durability cost.
+void BM_PagedCommit(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  const std::string path = BenchStorePath();
+  RemoveStoreFiles(path);
+  storage::StoreOptions opts;
+  opts.path = path;
+  opts.sync_commits = sync;
+  auto store = storage::PagedStore::Open(opts).value();
+  int i = 0;
+  bench::CounterDeltas deltas(state);
+  for (auto _ : state) {
+    auto st = store->Put("key" + std::to_string(i % 512), BenchValue(i));
+    if (st.ok()) st = store->Commit();
+    if (!st.ok()) state.SkipWithError(st.message().c_str());
+    ++i;
+  }
+  state.SetLabel(sync ? "fsync per commit" : "no fsync (unsafe)");
+  (void)store->Close();
+  RemoveStoreFiles(path);
+}
+BENCHMARK(BM_PagedCommit)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+/// `range` Puts batched under one commit: group-commit amortization of
+/// the same fsync across a transaction.
+void BM_PagedBatchCommit(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const std::string path = BenchStorePath();
+  RemoveStoreFiles(path);
+  storage::StoreOptions opts;
+  opts.path = path;
+  auto store = storage::PagedStore::Open(opts).value();
+  int i = 0;
+  for (auto _ : state) {
+    for (int j = 0; j < batch; ++j, ++i) {
+      auto st = store->Put("key" + std::to_string(i % 4096), BenchValue(i));
+      if (!st.ok()) state.SkipWithError(st.message().c_str());
+    }
+    auto st = store->Commit();
+    if (!st.ok()) state.SkipWithError(st.message().c_str());
+  }
+  state.counters["puts_per_commit"] = static_cast<double>(batch);
+  state.SetItemsProcessed(state.iterations() * batch);
+  (void)store->Close();
+  RemoveStoreFiles(path);
+}
+BENCHMARK(BM_PagedBatchCommit)->Arg(1)->Arg(16)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full-store in-order scan over `range` records.
+void BM_PagedScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string path = BenchStorePath();
+  RemoveStoreFiles(path);
+  storage::StoreOptions opts;
+  opts.path = path;
+  auto store = storage::PagedStore::Open(opts).value();
+  for (int i = 0; i < n; ++i) {
+    (void)store->Put("key" + std::to_string(100000 + i), BenchValue(i));
+  }
+  (void)store->Checkpoint();
+  for (auto _ : state) {
+    size_t rows = 0;
+    auto st = store->Scan("", [&](std::string_view, std::string_view) {
+      ++rows;
+      return Result<bool>(true);
+    });
+    if (!st.ok() || rows != static_cast<size_t>(n)) {
+      state.SkipWithError("scan failed");
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  (void)store->Close();
+  RemoveStoreFiles(path);
+}
+BENCHMARK(BM_PagedScan)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+/// Open with `range` committed-but-not-checkpointed transactions in the
+/// WAL: the redo-recovery path a crash would take.
+void BM_PagedRecovery(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  const std::string path = BenchStorePath();
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoveStoreFiles(path);
+    {
+      storage::StoreOptions opts;
+      opts.path = path;
+      auto store = storage::PagedStore::Open(opts).value();
+      for (int t = 0; t < txns; ++t) {
+        for (int j = 0; j < 8; ++j) {
+          (void)store->Put("key" + std::to_string((t * 3 + j) % 64),
+                           BenchValue(t));
+        }
+        (void)store->Commit();
+      }
+      // No Close/Checkpoint: drop the store with the WAL full, exactly
+      // the on-disk state a kill -9 after the last commit leaves.
+    }
+    state.ResumeTiming();
+    storage::StoreOptions opts;
+    opts.path = path;
+    auto reopened = storage::PagedStore::Open(opts).value();
+    benchmark::DoNotOptimize(reopened->recovery().committed_txns);
+    state.PauseTiming();
+    (void)reopened->Close();
+    state.ResumeTiming();
+  }
+  state.counters["wal_txns"] = static_cast<double>(txns);
+  RemoveStoreFiles(path);
+}
+BENCHMARK(BM_PagedRecovery)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+/// Import the scaled office database into an empty store + Checkpoint —
+/// the `.open` seeding path in lyric_shell.
+void BM_PagedImportOffice(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)));
+  const std::string path = BenchStorePath();
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoveStoreFiles(path);
+    storage::StoreOptions opts;
+    opts.path = path;
+    auto store = storage::PagedStore::Open(opts).value();
+    state.ResumeTiming();
+    auto st = store->ImportDatabase(db);
+    if (st.ok()) st = store->Checkpoint();
+    if (!st.ok()) state.SkipWithError(st.message().c_str());
+    state.PauseTiming();
+    (void)store->Close();
+    state.ResumeTiming();
+  }
+  state.counters["objects"] = static_cast<double>(db.ObjectCount());
+  RemoveStoreFiles(path);
+}
+BENCHMARK(BM_PagedImportOffice)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace lyric

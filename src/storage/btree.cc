@@ -1,0 +1,628 @@
+#include "storage/btree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lyric {
+namespace storage {
+
+namespace {
+
+// Node field offsets from the page start (see btree.h).
+constexpr uint32_t kLinkOff = 16;       // leaf next / internal rightmost
+constexpr uint32_t kNCellsOff = 24;
+constexpr uint32_t kCellStartOff = 26;
+constexpr uint32_t kSlotsOff = 28;
+constexpr size_t kLeafCellHeader = 14;  // klen u16 | vlen u32 | ovf u64
+constexpr size_t kInternalCellHeader = 10;  // child u64 | klen u16
+
+// Overflow page: next u64 | chunk len u32 | data.
+constexpr uint32_t kOvfNextOff = 16;
+constexpr uint32_t kOvfLenOff = 24;
+constexpr uint32_t kOvfDataOff = 28;
+constexpr size_t kOvfChunk = kPageSize - kOvfDataOff;
+
+uint64_t GetLink(const PageBuf& p) { return Load64(p.data() + kLinkOff); }
+void SetLink(PageBuf& p, uint64_t v) { Store64(p.data() + kLinkOff, v); }
+int NCells(const PageBuf& p) { return Load16(p.data() + kNCellsOff); }
+void SetNCells(PageBuf& p, int n) {
+  Store16(p.data() + kNCellsOff, static_cast<uint16_t>(n));
+}
+uint16_t CellStart(const PageBuf& p) {
+  uint16_t v = Load16(p.data() + kCellStartOff);
+  return v == 0 ? static_cast<uint16_t>(kPageSize) : v;  // 0 = fresh page
+}
+void SetCellStart(PageBuf& p, uint16_t v) {
+  Store16(p.data() + kCellStartOff, v);
+}
+uint16_t Slot(const PageBuf& p, int i) {
+  return Load16(p.data() + kSlotsOff + 2 * i);
+}
+void SetSlot(PageBuf& p, int i, uint16_t v) {
+  Store16(p.data() + kSlotsOff + 2 * i, v);
+}
+
+size_t CellLenAt(const PageBuf& p, int i) {
+  const uint16_t off = Slot(p, i);
+  if (GetPageType(p) == PageType::kBTreeLeaf) {
+    const uint16_t klen = Load16(p.data() + off);
+    const uint32_t vlen = Load32(p.data() + off + 2);
+    const uint64_t ovf = Load64(p.data() + off + 6);
+    return kLeafCellHeader + klen + (ovf == 0 ? vlen : 0);
+  }
+  return kInternalCellHeader + Load16(p.data() + off + 8);
+}
+
+std::string_view LeafKeyAt(const PageBuf& p, int i) {
+  const uint16_t off = Slot(p, i);
+  const uint16_t klen = Load16(p.data() + off);
+  return {reinterpret_cast<const char*>(p.data() + off + kLeafCellHeader),
+          klen};
+}
+std::string_view InternalKeyAt(const PageBuf& p, int i) {
+  const uint16_t off = Slot(p, i);
+  const uint16_t klen = Load16(p.data() + off + 8);
+  return {reinterpret_cast<const char*>(p.data() + off + kInternalCellHeader),
+          klen};
+}
+PageId InternalChildAt(const PageBuf& p, int i) {
+  return Load64(p.data() + Slot(p, i));
+}
+
+/// First slot whose key >= `key` (== NCells when all are smaller);
+/// `*found` reports an exact match.
+int LeafLowerBound(const PageBuf& p, std::string_view key, bool* found) {
+  int lo = 0, hi = NCells(p);
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (LeafKeyAt(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *found = lo < NCells(p) && LeafKeyAt(p, lo) == key;
+  return lo;
+}
+
+/// Routing: first cell whose separator >= `key`; NCells means the
+/// rightmost child.
+int InternalDescendIndex(const PageBuf& p, std::string_view key) {
+  int lo = 0, hi = NCells(p);
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (InternalKeyAt(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Structural audit of a node page before its offsets are trusted. The
+/// page checksum catches torn writes and bitrot, but a logically-mangled
+/// page with a recomputed checksum (or a buggy writer) could otherwise
+/// steer slot/length reads outside the 4 KiB buffer. Read paths call
+/// this after every Fetch; the O(cells) walk is cache-hot and cheap next
+/// to the I/O that produced the page.
+Status ValidateNode(const PageBuf& p, PageId id) {
+  const PageType type = GetPageType(p);
+  if (type != PageType::kBTreeLeaf && type != PageType::kBTreeInternal) {
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " is not a B-tree node");
+  }
+  const int n = NCells(p);
+  const size_t slots_end = kSlotsOff + 2 * static_cast<size_t>(n);
+  const uint16_t cell_start = CellStart(p);
+  if (slots_end > cell_start || cell_start > kPageSize) {
+    return Status::DataLoss("B-tree page " + std::to_string(id) +
+                            " slot directory overlaps its cells");
+  }
+  for (int i = 0; i < n; ++i) {
+    const size_t off = Slot(p, i);
+    const size_t header =
+        type == PageType::kBTreeLeaf ? kLeafCellHeader : kInternalCellHeader;
+    if (off < cell_start || off + header > kPageSize) {
+      return Status::DataLoss("B-tree page " + std::to_string(id) +
+                              " slot " + std::to_string(i) +
+                              " points outside the page");
+    }
+    size_t klen, body;
+    if (type == PageType::kBTreeLeaf) {
+      klen = Load16(p.data() + off);
+      const uint32_t vlen = Load32(p.data() + off + 2);
+      const uint64_t ovf = Load64(p.data() + off + 6);
+      body = klen + (ovf == kInvalidPage ? vlen : 0);
+    } else {
+      klen = Load16(p.data() + off + 8);
+      body = klen;
+    }
+    if (klen == 0 || klen > kMaxKeyLen || off + header + body > kPageSize) {
+      return Status::DataLoss("B-tree page " + std::to_string(id) +
+                              " cell " + std::to_string(i) +
+                              " has an impossible length");
+    }
+  }
+  return Status::OK();
+}
+
+size_t FreeSpace(const PageBuf& p) {
+  return CellStart(p) - (kSlotsOff + 2 * NCells(p));
+}
+
+size_t LiveCellBytes(const PageBuf& p) {
+  size_t total = 0;
+  for (int i = 0; i < NCells(p); ++i) total += CellLenAt(p, i);
+  return total;
+}
+
+/// Inserts `cell` at slot `idx`; the caller guarantees room.
+void RawInsertCell(PageBuf& p, int idx, const uint8_t* cell, size_t len) {
+  const uint16_t start = static_cast<uint16_t>(CellStart(p) - len);
+  std::memcpy(p.data() + start, cell, len);
+  const int n = NCells(p);
+  std::memmove(p.data() + kSlotsOff + 2 * (idx + 1),
+               p.data() + kSlotsOff + 2 * idx,
+               2 * static_cast<size_t>(n - idx));
+  SetSlot(p, idx, start);
+  SetNCells(p, n + 1);
+  SetCellStart(p, start);
+}
+
+/// Drops slot `idx`; the cell body becomes dead space that RebuildPage
+/// later reclaims.
+void RemoveCell(PageBuf& p, int idx) {
+  const int n = NCells(p);
+  std::memmove(p.data() + kSlotsOff + 2 * idx,
+               p.data() + kSlotsOff + 2 * (idx + 1),
+               2 * static_cast<size_t>(n - idx - 1));
+  SetNCells(p, n - 1);
+}
+
+/// Repacks live cells against the page end, squeezing out dead space.
+void RebuildPage(PageBuf& p) {
+  const PageBuf scratch = p;
+  uint16_t write = static_cast<uint16_t>(kPageSize);
+  for (int i = NCells(scratch) - 1; i >= 0; --i) {
+    const size_t len = CellLenAt(scratch, i);
+    write = static_cast<uint16_t>(write - len);
+    std::memcpy(p.data() + write, scratch.data() + Slot(scratch, i), len);
+    SetSlot(p, i, write);
+  }
+  SetCellStart(p, write);
+}
+
+/// Makes room for one more cell of `len` bytes, compacting if dead
+/// space suffices; false means the node must split.
+bool EnsureRoom(PageBuf& p, size_t len) {
+  if (FreeSpace(p) >= len + 2) return true;
+  const size_t needed =
+      kSlotsOff + 2 * static_cast<size_t>(NCells(p) + 1) + LiveCellBytes(p) +
+      len;
+  if (needed > kPageSize) return false;
+  RebuildPage(p);
+  return true;
+}
+
+struct InternalEntry {
+  PageId child;
+  std::string key;
+};
+
+void DecodeInternal(const PageBuf& p, std::vector<InternalEntry>* entries,
+                    PageId* rightmost) {
+  entries->clear();
+  entries->reserve(NCells(p));
+  for (int i = 0; i < NCells(p); ++i) {
+    entries->push_back({InternalChildAt(p, i), std::string(InternalKeyAt(p, i))});
+  }
+  *rightmost = GetLink(p);
+}
+
+bool InternalFits(const std::vector<InternalEntry>& entries) {
+  size_t total = kSlotsOff + 2 * entries.size();
+  for (const InternalEntry& e : entries) {
+    total += kInternalCellHeader + e.key.size();
+  }
+  return total <= kPageSize;
+}
+
+void EncodeInternal(PageBuf& p, const std::vector<InternalEntry>& entries,
+                    PageId rightmost) {
+  InitPage(p, PageType::kBTreeInternal);
+  SetLink(p, rightmost);
+  uint16_t write = static_cast<uint16_t>(kPageSize);
+  for (int i = static_cast<int>(entries.size()) - 1; i >= 0; --i) {
+    const InternalEntry& e = entries[i];
+    const size_t len = kInternalCellHeader + e.key.size();
+    write = static_cast<uint16_t>(write - len);
+    Store64(p.data() + write, e.child);
+    Store16(p.data() + write + 8, static_cast<uint16_t>(e.key.size()));
+    std::memcpy(p.data() + write + kInternalCellHeader, e.key.data(),
+                e.key.size());
+    SetSlot(p, i, write);
+  }
+  SetNCells(p, static_cast<int>(entries.size()));
+  SetCellStart(p, write);
+}
+
+void EncodeLeaf(PageBuf& p, const std::vector<std::string>& cells,
+                size_t begin, size_t end, uint64_t next) {
+  InitPage(p, PageType::kBTreeLeaf);
+  SetLink(p, next);
+  uint16_t write = static_cast<uint16_t>(kPageSize);
+  for (int i = static_cast<int>(end - begin) - 1; i >= 0; --i) {
+    const std::string& c = cells[begin + static_cast<size_t>(i)];
+    write = static_cast<uint16_t>(write - c.size());
+    std::memcpy(p.data() + write, c.data(), c.size());
+    SetSlot(p, i, write);
+  }
+  SetNCells(p, static_cast<int>(end - begin));
+  SetCellStart(p, write);
+}
+
+std::string_view CellKeyOf(const std::string& cell) {
+  const uint16_t klen =
+      Load16(reinterpret_cast<const uint8_t*>(cell.data()));
+  return {cell.data() + kLeafCellHeader, klen};
+}
+
+/// Split point: smallest prefix holding at least half the bytes, with
+/// at least one cell on each side.
+size_t ByteSplitPoint(const std::vector<std::string>& cells) {
+  size_t total = 0;
+  for (const std::string& c : cells) total += c.size() + 2;
+  size_t acc = 0, mid = 0;
+  while (mid < cells.size() && acc < total / 2) {
+    acc += cells[mid].size() + 2;
+    ++mid;
+  }
+  if (mid == 0) mid = 1;
+  if (mid >= cells.size()) mid = cells.size() - 1;
+  return mid;
+}
+
+}  // namespace
+
+Result<bool> BTree::Put(PageId* root, std::string_view key,
+                        std::string_view value) {
+  if (key.empty() || key.size() > kMaxKeyLen) {
+    return Status::InvalidArgument("btree key must be 1.." +
+                                   std::to_string(kMaxKeyLen) +
+                                   " bytes, got " +
+                                   std::to_string(key.size()));
+  }
+  if (*root == kInvalidPage) {
+    LYRIC_ASSIGN_OR_RETURN(PageRef leaf,
+                           alloc_->Allocate(PageType::kBTreeLeaf));
+    *root = leaf.id();
+  }
+  InsertResult r;
+  LYRIC_RETURN_NOT_OK(InsertRec(*root, key, value, &r));
+  if (r.split) {
+    LYRIC_OBS_COUNT("storage.btree.root_splits");
+    LYRIC_ASSIGN_OR_RETURN(PageRef top,
+                           alloc_->Allocate(PageType::kBTreeInternal));
+    std::vector<InternalEntry> entries;
+    entries.push_back({*root, std::move(r.left_max)});
+    EncodeInternal(top.buf(), entries, r.right);
+    top.MarkDirty();
+    *root = top.id();
+  }
+  return r.replaced;
+}
+
+Status BTree::InsertRec(PageId page_id, std::string_view key,
+                        std::string_view value, InsertResult* out) {
+  LYRIC_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(page_id));
+  const PageType type = GetPageType(page.buf());
+  if (type == PageType::kBTreeLeaf) {
+    return InsertIntoLeaf(page, key, value, out);
+  }
+  if (type != PageType::kBTreeInternal) {
+    return Status::DataLoss("page " + std::to_string(page_id) +
+                            " is not a B-tree node (type " +
+                            std::to_string(static_cast<int>(type)) + ")");
+  }
+  const int n = NCells(page.buf());
+  const int idx = InternalDescendIndex(page.buf(), key);
+  const PageId child =
+      idx < n ? InternalChildAt(page.buf(), idx) : GetLink(page.buf());
+  if (child == kInvalidPage) {
+    return Status::DataLoss("dangling child link in B-tree page " +
+                            std::to_string(page_id));
+  }
+  InsertResult sub;
+  LYRIC_RETURN_NOT_OK(InsertRec(child, key, value, &sub));
+  out->replaced = sub.replaced;
+  if (!sub.split) return Status::OK();
+
+  // The child split into child (lower, max = sub.left_max) and
+  // sub.right (upper, keeping the child's old upper bound).
+  LYRIC_OBS_COUNT("storage.btree.splits");
+  std::vector<InternalEntry> entries;
+  PageId rightmost;
+  DecodeInternal(page.buf(), &entries, &rightmost);
+  if (idx < n) {
+    entries[static_cast<size_t>(idx)].child = sub.right;
+    entries.insert(entries.begin() + idx, {child, std::move(sub.left_max)});
+  } else {
+    rightmost = sub.right;
+    entries.push_back({child, std::move(sub.left_max)});
+  }
+  if (InternalFits(entries)) {
+    EncodeInternal(page.buf(), entries, rightmost);
+    page.MarkDirty();
+    return Status::OK();
+  }
+
+  // This internal node overflows too: split it, consuming the middle
+  // entry (its child becomes the left node's rightmost, its key the
+  // separator handed up).
+  size_t mid = entries.size() / 2;
+  if (mid == 0) mid = 1;
+  if (mid + 1 >= entries.size()) mid = entries.size() - 2;
+  LYRIC_ASSIGN_OR_RETURN(PageRef right,
+                         alloc_->Allocate(PageType::kBTreeInternal));
+  std::vector<InternalEntry> left_entries(entries.begin(),
+                                          entries.begin() + mid);
+  std::vector<InternalEntry> right_entries(entries.begin() + mid + 1,
+                                           entries.end());
+  const PageId left_rightmost = entries[mid].child;
+  out->split = true;
+  out->right = right.id();
+  out->left_max = std::move(entries[mid].key);
+  EncodeInternal(page.buf(), left_entries, left_rightmost);
+  page.MarkDirty();
+  EncodeInternal(right.buf(), right_entries, rightmost);
+  right.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::InsertIntoLeaf(PageRef& leaf, std::string_view key,
+                             std::string_view value, InsertResult* out) {
+  PageBuf& p = leaf.buf();
+  bool found = false;
+  const int idx = LeafLowerBound(p, key, &found);
+  if (found) {
+    LYRIC_RETURN_NOT_OK(FreeCellOverflow(p, idx));
+    RemoveCell(p, idx);
+    out->replaced = true;
+  }
+  std::string cell;
+  LYRIC_RETURN_NOT_OK(BuildLeafCell(key, value, &cell));
+  if (EnsureRoom(p, cell.size())) {
+    RawInsertCell(p, idx, reinterpret_cast<const uint8_t*>(cell.data()),
+                  cell.size());
+    leaf.MarkDirty();
+    return Status::OK();
+  }
+
+  // Split: redistribute every cell (new one included) by bytes. Cell
+  // bodies cap at kMaxInlineCell, so each half is guaranteed to fit.
+  LYRIC_OBS_COUNT("storage.btree.splits");
+  std::vector<std::string> cells;
+  cells.reserve(static_cast<size_t>(NCells(p)) + 1);
+  for (int i = 0; i < NCells(p); ++i) {
+    const uint16_t off = Slot(p, i);
+    cells.emplace_back(reinterpret_cast<const char*>(p.data() + off),
+                       CellLenAt(p, i));
+  }
+  cells.insert(cells.begin() + idx, std::move(cell));
+  const size_t mid = ByteSplitPoint(cells);
+  LYRIC_ASSIGN_OR_RETURN(PageRef right,
+                         alloc_->Allocate(PageType::kBTreeLeaf));
+  const uint64_t old_next = GetLink(p);
+  EncodeLeaf(p, cells, 0, mid, right.id());
+  EncodeLeaf(right.buf(), cells, mid, cells.size(), old_next);
+  leaf.MarkDirty();
+  right.MarkDirty();
+  out->split = true;
+  out->right = right.id();
+  out->left_max = std::string(CellKeyOf(cells[mid - 1]));
+  return Status::OK();
+}
+
+Status BTree::BuildLeafCell(std::string_view key, std::string_view value,
+                            std::string* cell) {
+  const bool inline_ok =
+      kLeafCellHeader + key.size() + value.size() <= kMaxInlineCell;
+  uint64_t ovf = kInvalidPage;
+  if (!inline_ok) {
+    LYRIC_ASSIGN_OR_RETURN(ovf, WriteOverflow(value));
+  }
+  cell->resize(kLeafCellHeader + key.size() +
+               (inline_ok ? value.size() : 0));
+  uint8_t* b = reinterpret_cast<uint8_t*>(cell->data());
+  Store16(b, static_cast<uint16_t>(key.size()));
+  Store32(b + 2, static_cast<uint32_t>(value.size()));
+  Store64(b + 6, ovf);
+  std::memcpy(b + kLeafCellHeader, key.data(), key.size());
+  if (inline_ok) {
+    std::memcpy(b + kLeafCellHeader + key.size(), value.data(),
+                value.size());
+  }
+  return Status::OK();
+}
+
+Result<PageId> BTree::WriteOverflow(std::string_view value) {
+  LYRIC_OBS_COUNT("storage.btree.overflow_chains");
+  // Build the chain back to front so each page knows its successor.
+  const size_t nchunks = (value.size() + kOvfChunk - 1) / kOvfChunk;
+  PageId next = kInvalidPage;
+  for (size_t i = nchunks; i-- > 0;) {
+    LYRIC_ASSIGN_OR_RETURN(PageRef page,
+                           alloc_->Allocate(PageType::kOverflow));
+    const size_t off = i * kOvfChunk;
+    const size_t len = std::min(kOvfChunk, value.size() - off);
+    Store64(page.buf().data() + kOvfNextOff, next);
+    Store32(page.buf().data() + kOvfLenOff, static_cast<uint32_t>(len));
+    std::memcpy(page.buf().data() + kOvfDataOff, value.data() + off, len);
+    page.MarkDirty();
+    next = page.id();
+  }
+  return next;
+}
+
+Status BTree::ReadOverflow(PageId head, uint64_t total_len,
+                           std::string* out) {
+  out->clear();
+  out->reserve(total_len);
+  PageId cur = head;
+  while (cur != kInvalidPage) {
+    LYRIC_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(cur));
+    if (GetPageType(page.buf()) != PageType::kOverflow) {
+      return Status::DataLoss("overflow chain page " + std::to_string(cur) +
+                              " has wrong type");
+    }
+    const uint32_t len = Load32(page.buf().data() + kOvfLenOff);
+    // len == 0 would let a cyclic chain spin forever; every legitimate
+    // chunk carries at least one byte.
+    if (len == 0 || len > kOvfChunk || out->size() + len > total_len) {
+      return Status::DataLoss("overflow chain at page " +
+                              std::to_string(cur) +
+                              " disagrees with the recorded value length");
+    }
+    out->append(
+        reinterpret_cast<const char*>(page.buf().data() + kOvfDataOff), len);
+    cur = Load64(page.buf().data() + kOvfNextOff);
+  }
+  if (out->size() != total_len) {
+    return Status::DataLoss("overflow chain ended " +
+                            std::to_string(total_len - out->size()) +
+                            " bytes short");
+  }
+  return Status::OK();
+}
+
+Status BTree::FreeOverflow(PageId head) {
+  PageId cur = head;
+  while (cur != kInvalidPage) {
+    PageId next;
+    {
+      LYRIC_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(cur));
+      next = Load64(page.buf().data() + kOvfNextOff);
+    }
+    LYRIC_RETURN_NOT_OK(alloc_->Free(cur));
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status BTree::FreeCellOverflow(const PageBuf& page, int idx) {
+  const uint16_t off = Slot(page, idx);
+  const uint64_t ovf = Load64(page.data() + off + 6);
+  if (ovf == kInvalidPage) return Status::OK();
+  return FreeOverflow(ovf);
+}
+
+Result<PageRef> BTree::DescendToLeaf(PageId root, std::string_view key) {
+  PageId cur = root;
+  for (int depth = 0; depth < 64; ++depth) {
+    LYRIC_ASSIGN_OR_RETURN(PageRef page, pool_->Fetch(cur));
+    LYRIC_RETURN_NOT_OK(ValidateNode(page.buf(), cur));
+    const PageType type = GetPageType(page.buf());
+    if (type == PageType::kBTreeLeaf) return page;
+    const int n = NCells(page.buf());
+    const int idx = InternalDescendIndex(page.buf(), key);
+    cur = idx < n ? InternalChildAt(page.buf(), idx) : GetLink(page.buf());
+    if (cur == kInvalidPage) {
+      return Status::DataLoss("dangling child link in B-tree page " +
+                              std::to_string(page.id()));
+    }
+  }
+  return Status::DataLoss("B-tree deeper than 64 levels — cycle suspected");
+}
+
+Result<std::string> BTree::Get(PageId root, std::string_view key) {
+  if (root == kInvalidPage) {
+    return Status::NotFound("key not present (empty tree)");
+  }
+  LYRIC_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(root, key));
+  bool found = false;
+  const int idx = LeafLowerBound(leaf.buf(), key, &found);
+  if (!found) return Status::NotFound("key not present");
+  const uint16_t off = Slot(leaf.buf(), idx);
+  const uint8_t* b = leaf.buf().data() + off;
+  const uint16_t klen = Load16(b);
+  const uint32_t vlen = Load32(b + 2);
+  const uint64_t ovf = Load64(b + 6);
+  if (ovf != kInvalidPage) {
+    std::string out;
+    LYRIC_RETURN_NOT_OK(ReadOverflow(ovf, vlen, &out));
+    return out;
+  }
+  return std::string(
+      reinterpret_cast<const char*>(b + kLeafCellHeader + klen), vlen);
+}
+
+Result<bool> BTree::Delete(PageId root, std::string_view key) {
+  if (root == kInvalidPage) return false;
+  LYRIC_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(root, key));
+  bool found = false;
+  const int idx = LeafLowerBound(leaf.buf(), key, &found);
+  if (!found) return false;
+  LYRIC_RETURN_NOT_OK(FreeCellOverflow(leaf.buf(), idx));
+  RemoveCell(leaf.buf(), idx);
+  leaf.MarkDirty();
+  return true;
+}
+
+Status BTree::Scan(
+    PageId root, std::string_view lower,
+    const std::function<Result<bool>(std::string_view key,
+                                     std::string_view value)>& fn) {
+  if (root == kInvalidPage) return Status::OK();
+  LYRIC_ASSIGN_OR_RETURN(PageRef leaf, DescendToLeaf(root, lower));
+  bool found = false;
+  int idx = LeafLowerBound(leaf.buf(), lower, &found);
+  // Keys must be strictly increasing across the whole scan; a repeat or
+  // regression means a mangled leaf chain (e.g. a cycle) — stop with a
+  // typed error instead of looping or double-reporting records.
+  std::string prev_key;
+  for (;;) {
+    const int n = NCells(leaf.buf());
+    for (; idx < n; ++idx) {
+      const uint16_t off = Slot(leaf.buf(), idx);
+      const uint8_t* b = leaf.buf().data() + off;
+      const uint16_t klen = Load16(b);
+      const uint32_t vlen = Load32(b + 2);
+      const uint64_t ovf = Load64(b + 6);
+      const std::string_view key(
+          reinterpret_cast<const char*>(b + kLeafCellHeader), klen);
+      if (!prev_key.empty() && key <= prev_key) {
+        return Status::DataLoss("B-tree leaf chain out of order at page " +
+                                std::to_string(leaf.id()) +
+                                " — cycle or cross-link suspected");
+      }
+      prev_key.assign(key.data(), key.size());
+      std::string spilled;
+      std::string_view value;
+      if (ovf != kInvalidPage) {
+        LYRIC_RETURN_NOT_OK(ReadOverflow(ovf, vlen, &spilled));
+        value = spilled;
+      } else {
+        value = std::string_view(
+            reinterpret_cast<const char*>(b + kLeafCellHeader + klen), vlen);
+      }
+      LYRIC_ASSIGN_OR_RETURN(bool keep_going, fn(key, value));
+      if (!keep_going) return Status::OK();
+    }
+    const PageId next = GetLink(leaf.buf());
+    if (next == kInvalidPage) return Status::OK();
+    LYRIC_ASSIGN_OR_RETURN(PageRef next_leaf, pool_->Fetch(next));
+    LYRIC_RETURN_NOT_OK(ValidateNode(next_leaf.buf(), next));
+    if (GetPageType(next_leaf.buf()) != PageType::kBTreeLeaf) {
+      return Status::DataLoss("leaf chain links to non-leaf page " +
+                              std::to_string(next));
+    }
+    leaf = std::move(next_leaf);
+    idx = 0;
+  }
+}
+
+}  // namespace storage
+}  // namespace lyric

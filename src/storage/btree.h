@@ -1,0 +1,127 @@
+// Slotted-page B+tree over the buffer pool: the paged store's index
+// from record key to serialized constraint text (docs/STORAGE.md).
+//
+// Node layout (offsets from the page start; the first 16 bytes are the
+// common page header from page.h):
+//
+//   16..23  leaf: next-leaf page id (0 = last)  |  internal: rightmost
+//           child page id
+//   24..25  cell count (u16)
+//   26..27  cell content start (u16): lowest byte used by cell bodies,
+//           which are packed downward from the page end; 0 on a freshly
+//           zeroed page means "kPageSize" (empty)
+//   28..    slot array, one u16 cell offset per cell, sorted by key
+//
+// Leaf cell:      key len (u16) | value len (u32) | overflow head page
+//                 (u64, 0 = inline) | key bytes | inline value bytes
+// Internal cell:  child page (u64) | key len (u16) | key bytes
+//
+// Separator convention: an internal cell's key is an UPPER BOUND (the
+// max key ever routed) for its child's subtree; the rightmost child
+// covers everything greater. Search descends into the first cell whose
+// key >= the probe. Deletions never tighten separators — a stale upper
+// bound still routes correctly — so delete needs no parent fix-ups and
+// no rebalancing (freed space is reused by later inserts; pages are
+// reclaimed wholesale on checkpoint-compaction via export/import).
+//
+// Values whose cell would exceed kMaxInlineCell spill to an overflow
+// chain (PageType::kOverflow: next page u64 at 16, chunk len u32 at 24,
+// data from 28). The tree allocates and frees pages through the
+// PageAllocator interface its owner (PagedStore) implements over the
+// meta-page free list.
+//
+// Concurrency: the tree has no locks of its own — every call happens
+// under the owner's engine lock (rank kStorageEngine); the buffer pool
+// below does its own latching.
+
+#ifndef LYRIC_STORAGE_BTREE_H_
+#define LYRIC_STORAGE_BTREE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace lyric {
+namespace storage {
+
+/// Longest key the tree accepts. Keys here are short structured tags
+/// ("A\x1f<oid>\x1f<attr>"); the limit keeps worst-case fanout sane.
+inline constexpr size_t kMaxKeyLen = 512;
+/// Leaf cells larger than this (header + key + value) spill the value
+/// to an overflow chain. Chosen so any two cells always fit a page.
+inline constexpr size_t kMaxInlineCell = 1024;
+
+/// Page allocation hooks the tree's owner provides (free-list policy
+/// lives with the meta page, not here).
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+  /// A pinned, zero-initialized page of `type` (dirty + unlogged).
+  virtual Result<PageRef> Allocate(PageType type) = 0;
+  /// Returns `id` to the free list.
+  virtual Status Free(PageId id) = 0;
+};
+
+class BTree {
+ public:
+  BTree(BufferPool* pool, PageAllocator* alloc)
+      : pool_(pool), alloc_(alloc) {}
+
+  /// Inserts or replaces `key`. `*root` is updated when the root splits
+  /// (or the tree was empty). Returns true when an existing value was
+  /// replaced.
+  Result<bool> Put(PageId* root, std::string_view key,
+                   std::string_view value);
+
+  /// The value for `key`; kNotFound when absent.
+  Result<std::string> Get(PageId root, std::string_view key);
+
+  /// Removes `key` if present; returns whether it existed.
+  Result<bool> Delete(PageId root, std::string_view key);
+
+  /// In-order scan starting at the first key >= `lower`. The callback
+  /// returns false to stop early, or an error to abort the scan.
+  Status Scan(PageId root, std::string_view lower,
+              const std::function<Result<bool>(std::string_view key,
+                                               std::string_view value)>& fn);
+
+ private:
+  struct InsertResult {
+    bool split = false;
+    PageId right = kInvalidPage;  // new right sibling when split
+    std::string left_max;         // max key remaining in the left node
+    bool replaced = false;
+  };
+
+  Status InsertRec(PageId page_id, std::string_view key,
+                   std::string_view value, InsertResult* out);
+  Status InsertIntoLeaf(PageRef& leaf, std::string_view key,
+                        std::string_view value, InsertResult* out);
+
+  /// Builds the full serialized value, spilling to overflow when needed;
+  /// on return `cell` holds the ready-to-insert leaf cell bytes.
+  Status BuildLeafCell(std::string_view key, std::string_view value,
+                       std::string* cell);
+
+  Result<PageId> WriteOverflow(std::string_view value);
+  Status ReadOverflow(PageId head, uint64_t total_len, std::string* out);
+  Status FreeOverflow(PageId head);
+  /// Frees the overflow chain (if any) referenced by the leaf cell at
+  /// slot `idx`.
+  Status FreeCellOverflow(const PageBuf& page, int idx);
+
+  /// Descends to the leaf that owns `key`. kNotFound only on an empty
+  /// tree (root == kInvalidPage is handled by callers).
+  Result<PageRef> DescendToLeaf(PageId root, std::string_view key);
+
+  BufferPool* pool_;
+  PageAllocator* alloc_;
+};
+
+}  // namespace storage
+}  // namespace lyric
+
+#endif  // LYRIC_STORAGE_BTREE_H_

@@ -1,0 +1,49 @@
+#include "storage/pager.h"
+
+#include "obs/metrics.h"
+
+namespace lyric {
+namespace storage {
+
+Result<Pager> Pager::Open(const std::string& path) {
+  Pager pager;
+  LYRIC_ASSIGN_OR_RETURN(pager.file_, File::OpenReadWrite(path));
+  return pager;
+}
+
+Status Pager::ReadPage(PageId id, PageBuf* out) const {
+  LYRIC_RETURN_NOT_OK(ReadPageRaw(id, out));
+  if (!VerifyPage(*out)) {
+    LYRIC_OBS_COUNT("storage.page.checksum_failures");
+    return Status::DataLoss("page " + std::to_string(id) + " of '" +
+                            file_.path() + "' failed checksum verification");
+  }
+  return Status::OK();
+}
+
+Status Pager::ReadPageRaw(PageId id, PageBuf* out) const {
+  LYRIC_OBS_COUNT("storage.page.reads");
+  return file_.ReadAt(id * kPageSize, out->data(), kPageSize);
+}
+
+Status Pager::WritePage(PageId id, PageBuf& page) {
+  SealPage(page);
+  return WritePageRaw(id, page);
+}
+
+Status Pager::WritePageRaw(PageId id, const PageBuf& page) {
+  LYRIC_OBS_COUNT("storage.page.writes");
+  return file_.WriteAt(id * kPageSize, page.data(), kPageSize);
+}
+
+Status Pager::Sync() { return file_.Sync(); }
+
+Result<uint64_t> Pager::PageCountOnDisk() const {
+  LYRIC_ASSIGN_OR_RETURN(uint64_t size, file_.Size());
+  return size / kPageSize;
+}
+
+Status Pager::Close() { return file_.Close(); }
+
+}  // namespace storage
+}  // namespace lyric

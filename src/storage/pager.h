@@ -1,0 +1,59 @@
+// Pager: checksummed page I/O over the data file.
+//
+// The pager is deliberately dumb — it reads and writes whole pages,
+// verifying the CRC on the way in and sealing it on the way out, and it
+// knows how long the file is. Allocation policy (free list, page count)
+// lives in the meta page and is managed by PagedStore; caching and
+// eviction live in BufferPool. All methods return typed Statuses; a
+// checksum mismatch is kDataLoss and names the page.
+
+#ifndef LYRIC_STORAGE_PAGER_H_
+#define LYRIC_STORAGE_PAGER_H_
+
+#include <string>
+
+#include "storage/file_io.h"
+#include "storage/page.h"
+
+namespace lyric {
+namespace storage {
+
+class Pager {
+ public:
+  /// Opens (creating if absent) the data file at `path`.
+  static Result<Pager> Open(const std::string& path);
+
+  Pager() = default;
+  Pager(Pager&&) = default;
+  Pager& operator=(Pager&&) = default;
+
+  /// Reads and verifies page `id`. kDataLoss on checksum mismatch or a
+  /// read past the end of the file.
+  Status ReadPage(PageId id, PageBuf* out) const;
+
+  /// Reads page `id` without checksum verification (recovery uses this
+  /// to distinguish "torn" from "missing").
+  Status ReadPageRaw(PageId id, PageBuf* out) const;
+
+  /// Seals (checksums) and writes page `id`, extending the file if
+  /// needed. The image in `page` gets its CRC refreshed in place.
+  Status WritePage(PageId id, PageBuf& page);
+
+  /// Writes a pre-sealed image verbatim (WAL replay writes the logged
+  /// image including its logged checksum).
+  Status WritePageRaw(PageId id, const PageBuf& page);
+
+  Status Sync();
+  /// Pages the file currently holds (file size / page size).
+  Result<uint64_t> PageCountOnDisk() const;
+  Status Close();
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  File file_;
+};
+
+}  // namespace storage
+}  // namespace lyric
+
+#endif  // LYRIC_STORAGE_PAGER_H_

@@ -6,6 +6,7 @@
 #include "query/formula_builder.h"
 #include "query/lexer.h"
 #include "query/parser.h"
+#include "storage/file_io.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 
@@ -20,26 +21,6 @@ namespace {
 // Oid rendering: symbols bare, funcs f(...), strings quoted, rationals as
 // num or num/den — all of which the loader's value grammar reads back.
 std::string OidText(const Oid& oid) { return oid.ToString(); }
-
-Result<std::string> ValueText(const Database& db, const Value& value) {
-  auto one = [&db](const Oid& oid) -> Result<std::string> {
-    if (oid.IsCst()) {
-      // The canonical string is already a parseable projection formula.
-      LYRIC_ASSIGN_OR_RETURN(CstObject obj, db.GetCst(oid));
-      LYRIC_ASSIGN_OR_RETURN(std::string canonical, obj.CanonicalString());
-      return "CST " + canonical;
-    }
-    return OidText(oid);
-  };
-  if (value.is_scalar()) return one(value.scalar());
-  std::vector<std::string> parts;
-  for (const Oid& e : value.elements()) {
-    LYRIC_ASSIGN_OR_RETURN(std::string t, one(e));
-    parts.push_back(std::move(t));
-  }
-  // Sets use brackets: braces are not in the lexer's alphabet.
-  return "[" + Join(parts, ", ") + "]";
-}
 
 // ---------------------------------------------------------------------------
 // Loading
@@ -292,33 +273,72 @@ class Loader {
 
 }  // namespace
 
+Result<std::string> Serializer::ClassText(const ClassDef& def) {
+  std::ostringstream out;
+  out << "CLASS " << def.name;
+  if (!def.interface_vars.empty()) {
+    out << " (" << Join(def.interface_vars, ", ") << ")";
+  }
+  if (!def.parents.empty()) {
+    out << " ISA " << Join(def.parents, ", ");
+  }
+  out << " [\n";
+  for (const AttributeDef& attr : def.attributes) {
+    out << "  " << attr.name << (attr.set_valued ? "*" : "") << " => ";
+    if (attr.IsCst()) {
+      out << "CST (" << Join(attr.variables, ", ") << ")";
+    } else {
+      out << attr.target_class;
+      if (!attr.variables.empty()) {
+        out << " (" << Join(attr.variables, ", ") << ")";
+      }
+    }
+    out << ";\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+Result<std::string> Serializer::ValueText(const Database& db,
+                                          const Value& value) {
+  auto one = [&db](const Oid& oid) -> Result<std::string> {
+    if (oid.IsCst()) {
+      // The canonical string is already a parseable projection formula.
+      LYRIC_ASSIGN_OR_RETURN(CstObject obj, db.GetCst(oid));
+      LYRIC_ASSIGN_OR_RETURN(std::string canonical, obj.CanonicalString());
+      return "CST " + canonical;
+    }
+    return OidText(oid);
+  };
+  if (value.is_scalar()) return one(value.scalar());
+  std::vector<std::string> parts;
+  for (const Oid& e : value.elements()) {
+    LYRIC_ASSIGN_OR_RETURN(std::string t, one(e));
+    parts.push_back(std::move(t));
+  }
+  // Sets use brackets: braces are not in the lexer's alphabet.
+  return "[" + Join(parts, ", ") + "]";
+}
+
+Result<std::string> Serializer::InstanceOfLine(const Database& db,
+                                               const Oid& oid,
+                                               const std::string& class_name) {
+  if (oid.IsCst()) {
+    LYRIC_ASSIGN_OR_RETURN(CstObject obj, db.GetCst(oid));
+    LYRIC_ASSIGN_OR_RETURN(std::string canonical, obj.CanonicalString());
+    return "INSTANCEOF CST " + canonical + " => " + class_name + ";\n";
+  }
+  return "INSTANCEOF " + OidText(oid) + " => " + class_name + ";\n";
+}
+
 Result<std::string> Serializer::DumpDatabase(const Database& db) {
   std::ostringstream out;
   out << "-- lyric database dump v1\n";
   // Classes, in registration order (parents always precede children).
   for (const std::string& name : db.schema().ClassNames()) {
     LYRIC_ASSIGN_OR_RETURN(const ClassDef* def, db.schema().GetClass(name));
-    out << "CLASS " << def->name;
-    if (!def->interface_vars.empty()) {
-      out << " (" << Join(def->interface_vars, ", ") << ")";
-    }
-    if (!def->parents.empty()) {
-      out << " ISA " << Join(def->parents, ", ");
-    }
-    out << " [\n";
-    for (const AttributeDef& attr : def->attributes) {
-      out << "  " << attr.name << (attr.set_valued ? "*" : "") << " => ";
-      if (attr.IsCst()) {
-        out << "CST (" << Join(attr.variables, ", ") << ")";
-      } else {
-        out << attr.target_class;
-        if (!attr.variables.empty()) {
-          out << " (" << Join(attr.variables, ", ") << ")";
-        }
-      }
-      out << ";\n";
-    }
-    out << "]\n";
+    LYRIC_ASSIGN_OR_RETURN(std::string text, ClassText(*def));
+    out << text;
   }
   // Objects.
   for (const auto& [oid, rec] : db.objects()) {
@@ -332,13 +352,8 @@ Result<std::string> Serializer::DumpDatabase(const Database& db) {
   // Extra instance-of facts.
   for (const auto& [oid, classes] : db.extra_instance_of()) {
     for (const std::string& cls : classes) {
-      if (oid.IsCst()) {
-        LYRIC_ASSIGN_OR_RETURN(CstObject obj, db.GetCst(oid));
-        LYRIC_ASSIGN_OR_RETURN(std::string canonical, obj.CanonicalString());
-        out << "INSTANCEOF CST " << canonical << " => " << cls << ";\n";
-      } else {
-        out << "INSTANCEOF " << OidText(oid) << " => " << cls << ";\n";
-      }
+      LYRIC_ASSIGN_OR_RETURN(std::string line, InstanceOfLine(db, oid, cls));
+      out << line;
     }
   }
   return out.str();
@@ -370,15 +385,9 @@ Status Serializer::SaveToFile(const Database& db, const std::string& path) {
     return Status::Unavailable("injected fault: serializer save");
   }
   LYRIC_ASSIGN_OR_RETURN(std::string text, DumpDatabase(db));
-  std::ofstream out(path);
-  if (!out) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
-  out << text;
-  if (!out.good()) {
-    return Status::Internal("failed writing '" + path + "'");
-  }
-  return Status::OK();
+  // Crash-safe replacement: temp file + fsync + atomic rename. A save
+  // interrupted at any byte leaves the previous dump intact.
+  return storage::AtomicWriteFile(path, text);
 }
 
 Status Serializer::LoadFromFile(const std::string& path, Database* db) {

@@ -43,9 +43,30 @@ class Serializer {
   /// Loads a dump produced by DumpDatabase into an empty database.
   static Status LoadDatabase(const std::string& text, Database* db);
 
-  /// File convenience wrappers.
+  /// File convenience wrappers. SaveToFile is crash-safe: the dump is
+  /// written to a temp file, fsynced, and renamed over `path` (plus a
+  /// directory fsync), so an interrupted save never clobbers an
+  /// existing good dump.
   static Status SaveToFile(const Database& db, const std::string& path);
   static Status LoadFromFile(const std::string& path, Database* db);
+
+  // -- dump fragments ------------------------------------------------------
+  // The paged storage engine (storage/paged_store.h) stores records in
+  // the dump grammar, one fragment per schema/object/attribute entry,
+  // and reassembles them into a full dump for LoadDatabase. These
+  // helpers are the single source of truth for that grammar;
+  // DumpDatabase composes the same pieces.
+
+  /// The "CLASS name ... [ ... ]\n" block for one class definition.
+  static Result<std::string> ClassText(const ClassDef& def);
+  /// An attribute value in the dump's value grammar (oids bare, CST
+  /// objects as "CST <canonical projection>", sets bracketed).
+  static Result<std::string> ValueText(const Database& db,
+                                       const Value& value);
+  /// A full "INSTANCEOF <oid-or-CST> => class;\n" line.
+  static Result<std::string> InstanceOfLine(const Database& db,
+                                            const Oid& oid,
+                                            const std::string& class_name);
 };
 
 }  // namespace lyric

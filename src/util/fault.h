@@ -35,6 +35,11 @@
 //                 with kUnavailable; the server drops the connection (the
 //                 session is reaped, nothing leaks) and the client
 //                 reconnects under its RetryPolicy
+//   storage       paged-store I/O: page reads/writes, WAL appends and
+//                 fsyncs fail with kUnavailable. Reads are plain typed
+//                 errors; a failed commit poisons the store (fail-stop:
+//                 further writes return typed errors) and reopening
+//                 recovers exactly the last durably committed state
 
 #ifndef LYRIC_UTIL_FAULT_H_
 #define LYRIC_UTIL_FAULT_H_
@@ -54,6 +59,7 @@ inline constexpr const char* kSiteMerge = "merge";
 inline constexpr const char* kSiteTrace = "trace";
 inline constexpr const char* kSiteScheduler = "scheduler";
 inline constexpr const char* kSiteNet = "net";
+inline constexpr const char* kSiteStorage = "storage";
 
 /// True when any site is armed (cheap: one relaxed atomic load). Callers
 /// on hot paths may use this to skip building arguments.

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource-exhausted";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

@@ -44,6 +44,11 @@ enum class StatusCode : int {
   /// injected fault). The operation was never started and is safe to retry;
   /// the status may carry a retry-after hint (see retry_after_ms()).
   kUnavailable = 11,
+  /// Durable data failed validation (page checksum mismatch, torn write,
+  /// corrupt WAL record beyond the recoverable tail). Retrying cannot
+  /// help; the storage layer reports exactly what was lost and never
+  /// silently repairs past committed state.
+  kDataLoss = 12,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -99,6 +104,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -129,6 +137,7 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
   /// True for the two query-governor trip codes (the statuses a governed
   /// evaluation converts into a partial ResultSet instead of an error).
   bool IsGovernorTrip() const {

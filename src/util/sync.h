@@ -117,6 +117,14 @@ enum class LockRank : int {
   kThreadPool = 20,
   /// ChunkLatch completion bits (exec/thread_pool.h).
   kChunkLatch = 22,
+  /// PagedStore engine lock (storage/paged_store.h): serializes B-tree
+  /// structure changes and batch application. Held across buffer-pool
+  /// fetches and WAL appends, so it ranks before both.
+  kStorageEngine = 24,
+  /// WAL append/group-commit state (storage/wal.h).
+  kWal = 26,
+  /// Buffer-pool frame table + LRU list (storage/buffer_pool.h).
+  kBufferPool = 28,
   /// Database CST interning store (object/database.h).
   kCstStore = 30,
   /// SolverCache per-shard LRU + index (constraint/solver_cache.h).

@@ -1,0 +1,120 @@
+// Fuzz harness for the paged storage decoders: arbitrary bytes treated
+// as (a) a WAL file fed to Wal::Replay, (b) a raw page image, and (c) a
+// data file whose pages are re-sealed (valid checksums) and then opened
+// and scanned as a store. Every path must end in success or a typed
+// Status — never a crash, hang, out-of-bounds read, or leak. Re-sealing
+// in (c) is what pushes the fuzzer past the checksum gate into the
+// B-tree/meta structural validators. Build with -DLYRIC_FUZZERS=ON.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "storage/file_io.h"
+#include "storage/paged_store.h"
+#include "storage/wal.h"
+
+namespace {
+
+// One scratch path per process; every iteration rewrites it.
+std::string ScratchPath(const char* suffix) {
+  const char* tmp = ::getenv("TMPDIR");
+  std::string base = tmp != nullptr && *tmp != '\0' ? tmp : "/tmp";
+  return base + "/fuzz_storage_" + std::to_string(::getpid()) + suffix;
+}
+
+void WriteWhole(const std::string& path, const uint8_t* data, size_t size) {
+  ::unlink(path.c_str());
+  auto f = lyric::storage::File::OpenReadWrite(path);
+  if (!f.ok()) __builtin_trap();
+  if (!f->WriteAt(0, data, size).ok()) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace lyric::storage;
+  if (size > 64 * 1024) return 0;
+
+  // (a) The input is a WAL: replay must scan cleanly, applying only
+  // intact committed transactions, and report coherent stats.
+  {
+    static const std::string wal_path = ScratchPath(".wal");
+    WriteWhole(wal_path, data, size);
+    uint64_t applied = 0;
+    auto stats = Wal::Replay(
+        wal_path, [&](PageId, const PageBuf&) {
+          ++applied;
+          return lyric::Status::OK();
+        });
+    if (stats.ok()) {
+      if (stats->valid_bytes > size) __builtin_trap();
+      if (stats->torn_tail_bytes > size) __builtin_trap();
+      if (stats->images_applied != applied) __builtin_trap();
+    }
+  }
+
+  // (b) The first page worth of input is a raw page image.
+  if (size >= kPageSize) {
+    PageBuf page;
+    std::memcpy(page.data(), data, kPageSize);
+    if (VerifyPage(page)) {
+      MetaPage meta;
+      (void)meta.DecodeFrom(page);
+    }
+  }
+
+  // (c) The input body forms B-tree/overflow pages behind a synthesized
+  // valid meta page; every page is sealed so the checksum gate passes
+  // and the structural validators do the rejecting. Open + scan + probe
+  // must terminate with OK or a typed error.
+  {
+    const size_t body_pages = size / kPageSize;
+    if (body_pages >= 1 && body_pages <= 8) {
+      static const std::string db_path = ScratchPath(".lyricpg");
+      std::string file(kPageSize * (1 + body_pages), '\0');
+      PageBuf page;
+      MetaPage meta;
+      meta.page_count = 1 + body_pages;
+      meta.btree_root = 1;
+      meta.record_count = 1;
+      meta.EncodeTo(page);
+      SealPage(page);
+      std::memcpy(file.data(), page.data(), kPageSize);
+      for (size_t i = 0; i < body_pages; ++i) {
+        std::memcpy(page.data(), data + i * kPageSize, kPageSize);
+        // Clamp the type byte to a real PageType so the fuzzer spends
+        // its budget inside the node decoders, not on the type check.
+        page[4] = static_cast<uint8_t>(2 + (page[4] % 3));  // leaf/int/ovf
+        SealPage(page);
+        std::memcpy(file.data() + (i + 1) * kPageSize, page.data(),
+                    kPageSize);
+      }
+      WriteWhole(db_path, reinterpret_cast<const uint8_t*>(file.data()),
+                 file.size());
+      ::unlink(PagedStore::WalPathFor(db_path).c_str());
+
+      StoreOptions opts;
+      opts.path = db_path;
+      opts.pool_pages = 16;
+      auto store_or = PagedStore::Open(opts);
+      if (store_or.ok()) {
+        auto& store = *store_or;
+        size_t rows = 0;
+        (void)store->Scan("", [&](std::string_view, std::string_view) {
+          // A structurally valid tree can hold at most a few thousand
+          // cells across 8 pages; more means a scan runaway.
+          if (++rows > 100000) __builtin_trap();
+          return lyric::Result<bool>(true);
+        });
+        (void)store->Get("probe");
+        (void)store->Delete("probe");
+        (void)store->Close();
+      }
+    }
+  }
+  return 0;
+}

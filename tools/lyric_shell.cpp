@@ -29,6 +29,12 @@
 //                        admission control: cap concurrent queries,
 //                        bound the wait queue, show live scheduler state
 //   .load PATH / .save PATH
+//   .open PATH           attach a crash-safe paged store (docs/STORAGE.md):
+//                        a non-empty store loads into the session; an empty
+//                        one is seeded from the session database
+//   .checkpoint          rewrite the attached store from the session
+//                        database and checkpoint it (fsynced, WAL truncated)
+//   .close               checkpoint and detach the store
 //   .quit
 // Anything else is parsed as a LyriC query and evaluated.
 //
@@ -41,9 +47,11 @@
 #include <fstream>
 #include <iostream>
 #include <new>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "constraint/solver_cache.h"
 #include "exec/scheduler.h"
@@ -53,6 +61,7 @@
 #include "query/analyzer.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
+#include "storage/paged_store.h"
 #include "storage/serializer.h"
 #include "util/fault.h"
 #include "util/string_util.h"
@@ -60,6 +69,24 @@
 using namespace lyric;  // NOLINT - tool code.
 
 namespace {
+
+// .checkpoint/.close: make the attached store mirror the session
+// database exactly — delete every record, re-import, checkpoint. The
+// deletes and the re-import land in one commit, so a crash mid-rewrite
+// recovers either the old snapshot or the new one, never a blend.
+Status RewriteStore(storage::PagedStore* store, const Database& db) {
+  std::vector<std::string> keys;
+  LYRIC_RETURN_NOT_OK(
+      store->Scan("", [&](std::string_view k, std::string_view) {
+        keys.emplace_back(k);
+        return Result<bool>(true);
+      }));
+  for (const std::string& k : keys) {
+    LYRIC_RETURN_NOT_OK(store->Delete(k));
+  }
+  LYRIC_RETURN_NOT_OK(store->ImportDatabase(db));
+  return store->Checkpoint();
+}
 
 void PrintClasses(const Database& db) {
   for (const std::string& name : db.schema().ClassNames()) {
@@ -196,6 +223,8 @@ int main(int argc, char** argv) {
   // LYRIC_MEMORY_BUDGET through EvalOptions.
   std::optional<uint64_t> deadline_ms = EvalOptions{}.deadline_ms;
   std::optional<uint64_t> budget = EvalOptions{}.memory_budget;
+  // Attached crash-safe paged store (.open / .checkpoint / .close).
+  std::unique_ptr<storage::PagedStore> pstore;
   while (true) {
     std::cout << (pending.empty() ? "lyric> " : "  ...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
@@ -244,6 +273,10 @@ int main(int argc, char** argv) {
                      "                       admission control: cap "
                      "concurrent queries, bound\n                       "
                      "the wait queue; bare .admit shows live state\n"
+                     "  .open PATH | .checkpoint | .close\n"
+                     "                       crash-safe paged store: attach "
+                     "(load or seed),\n                       sync the "
+                     "session into it, detach (docs/STORAGE.md)\n"
                      "  anything else: a LyriC query ending in ';'\n";
       } else if (cmd == ".stats") {
         std::cout << obs::Registry::Global().Snapshot().ToString();
@@ -464,6 +497,68 @@ int main(int argc, char** argv) {
             exec::RetryPolicy::FromEnv(),
             [&] { return Serializer::SaveToFile(db, arg); });
         std::cout << (st.ok() ? "saved" : st.ToString()) << "\n";
+      } else if (cmd == ".open") {
+        if (arg.empty()) {
+          std::cout << "usage: .open PATH\n";
+        } else if (pstore != nullptr) {
+          std::cout << "a store is already attached (" << pstore->path()
+                    << "); .close it first\n";
+        } else {
+          auto store_or = storage::PagedStore::Open({.path = arg});
+          if (!store_or.ok()) {
+            std::cout << store_or.status() << "\n";
+          } else {
+            pstore = std::move(*store_or);
+            const storage::RecoveryInfo& rec = pstore->recovery();
+            if (rec.committed_txns > 0 || rec.torn_tail_bytes > 0) {
+              std::cout << "recovered " << rec.committed_txns
+                        << " committed transaction(s), " << rec.images_applied
+                        << " page(s); ignored " << rec.torn_tail_bytes
+                        << " torn byte(s)\n";
+            }
+            if (pstore->RecordCount() > 0) {
+              // Non-empty store: its contents become the session.
+              Database fresh;
+              Status st = pstore->ExportToDatabase(&fresh);
+              if (!st.ok()) {
+                std::cout << st << "\n";
+                pstore.reset();
+              } else {
+                db = std::move(fresh);
+                (void)RegisterBuiltinCstMethods(&db);
+                std::cout << "opened " << arg << ": loaded "
+                          << db.ObjectCount() << " objects\n";
+              }
+            } else {
+              // Empty store: seed it from the session.
+              Status st = pstore->ImportDatabase(db);
+              if (st.ok()) st = pstore->Checkpoint();
+              if (!st.ok()) {
+                std::cout << st << "\n";
+                pstore.reset();
+              } else {
+                std::cout << "opened " << arg << ": seeded with "
+                          << db.ObjectCount() << " objects\n";
+              }
+            }
+          }
+        }
+      } else if (cmd == ".checkpoint") {
+        if (pstore == nullptr) {
+          std::cout << "no store attached (.open PATH)\n";
+        } else {
+          Status st = RewriteStore(pstore.get(), db);
+          std::cout << (st.ok() ? "checkpointed" : st.ToString()) << "\n";
+        }
+      } else if (cmd == ".close") {
+        if (pstore == nullptr) {
+          std::cout << "no store attached\n";
+        } else {
+          Status st = RewriteStore(pstore.get(), db);
+          if (st.ok()) st = pstore->Close();
+          pstore.reset();
+          std::cout << (st.ok() ? "closed" : st.ToString()) << "\n";
+        }
       } else {
         std::cout << "unknown command " << cmd << " (.help)\n";
       }
