@@ -71,7 +71,13 @@ Result<QueryResponse> Client::ExecuteOnce(const std::string& payload) {
   if (!st.ok()) return st;
   std::string response_payload;
   Result<FrameHeader> header = ReadFrame(&response_payload);
-  if (!header.ok()) return header.status();
+  if (!header.ok()) {
+    // The query left this process whole; the answer never came back.
+    // The server may or may not have accepted/executed it — exactly
+    // the uncertainty the chaos harness quantifies.
+    ++stats_.in_flight_at_disconnect;
+    return header.status();
+  }
   switch (header->type) {
     case FrameType::kResult: {
       QueryResponse response;
@@ -92,6 +98,31 @@ Result<QueryResponse> Client::ExecuteOnce(const std::string& payload) {
           "client: unexpected server frame type " +
           std::to_string(static_cast<int>(header->type)));
   }
+}
+
+Status Client::Health(HealthInfo* out) {
+  Status st = Connect();
+  if (!st.ok()) return st;
+  st = SendFrame(FrameType::kHealth, std::string());
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  std::string payload;
+  Result<FrameHeader> header = ReadFrame(&payload);
+  if (!header.ok()) {
+    Close();
+    return header.status();
+  }
+  if (header->type != FrameType::kHealthInfo) {
+    Close();
+    return Status::InvalidArgument(
+        "client: expected HEALTHINFO, got frame type " +
+        std::to_string(static_cast<int>(header->type)));
+  }
+  st = DecodeHealthInfo(payload, out);
+  if (!st.ok()) Close();
+  return st;
 }
 
 Status Client::Ping() {
@@ -131,6 +162,7 @@ Result<FrameHeader> Client::ReadFrame(std::string* payload) {
   st = DecodeFrameHeader(header_bytes, kFrameHeaderBytes,
                          options_.max_payload_bytes, &header);
   if (!st.ok()) return st;
+  last_server_health_ = header.health;
   payload->assign(header.payload_len, '\0');
   if (header.payload_len != 0) {
     st = socket_.ReadFull(payload->data(), payload->size());

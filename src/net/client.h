@@ -63,6 +63,12 @@ struct ClientStats {
   uint64_t transport_errors = 0;
   uint64_t reconnects = 0;  ///< Successful connects after the first.
   uint64_t backoff_ms_total = 0;
+  /// Queries fully sent whose response never arrived (the connection
+  /// died in between): each is a request the server MAY have accepted
+  /// and executed without this client learning the outcome. The chaos
+  /// harness asserts drains keep this at zero; crash tests use it to
+  /// bound the may-or-may-not-be-durable window.
+  uint64_t in_flight_at_disconnect = 0;
 };
 
 /// A blocking lyric_serverd connection. Not thread-safe.
@@ -90,7 +96,16 @@ class Client {
   /// Round-trips a PING frame.
   Status Ping();
 
+  /// Round-trips a HEALTH probe; fills `out` with the server's
+  /// lifecycle state and recovery/load stats. Retries are the caller's
+  /// business (loadgen polls this for readiness).
+  Status Health(HealthInfo* out);
+
   const ClientStats& stats() const { return stats_; }
+
+  /// The HealthState stamped on the last server frame this client read
+  /// (kUnknown before any response, and from pre-health servers).
+  HealthState last_server_health() const { return last_server_health_; }
 
  private:
   /// One wire attempt: connect if needed, send, await the response.
@@ -102,6 +117,7 @@ class Client {
   ClientOptions options_;
   Socket socket_;
   ClientStats stats_;
+  HealthState last_server_health_ = HealthState::kUnknown;
 };
 
 }  // namespace net

@@ -17,10 +17,28 @@ constexpr uint8_t kFlagHasResult = 1u << 0;
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kQuery) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kHealthInfo);
 }
 
 }  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kRecovering:
+      return "recovering";
+    case HealthState::kServing:
+      return "serving";
+    case HealthState::kDraining:
+      return "draining";
+    case HealthState::kReadOnly:
+      return "read_only";
+    case HealthState::kUnknown:
+      break;
+  }
+  return "unknown";
+}
 
 void WireWriter::U32(uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -78,11 +96,12 @@ bool WireReader::Str(std::string* s) {
   return true;
 }
 
-void EncodeFrameHeader(FrameType type, uint32_t payload_len, char* out) {
+void EncodeFrameHeader(FrameType type, uint32_t payload_len, char* out,
+                       HealthState health) {
   std::memcpy(out, kMagic, 4);
   out[4] = static_cast<char>(kProtocolVersion);
   out[5] = static_cast<char>(type);
-  out[6] = 0;
+  out[6] = static_cast<char>(health);
   out[7] = 0;
   for (int i = 0; i < 4; ++i) {
     out[8 + i] = static_cast<char>((payload_len >> (8 * i)) & 0xff);
@@ -109,7 +128,14 @@ Status DecodeFrameHeader(const char* data, size_t len, uint32_t max_payload,
     return Status::InvalidArgument("frame: unknown frame type " +
                                    std::to_string(type));
   }
-  // Bytes 6-7 are reserved: ignored on receive, per the compat rule.
+  // Byte 6 carries the sender's HealthState (kUnknown from clients and
+  // pre-health servers); values past the known range decode as kUnknown
+  // so a newer sender cannot break us. Byte 7 stays reserved/ignored.
+  const uint8_t health_byte = static_cast<uint8_t>(data[6]);
+  const HealthState health =
+      health_byte <= static_cast<uint8_t>(HealthState::kReadOnly)
+          ? static_cast<HealthState>(health_byte)
+          : HealthState::kUnknown;
   uint32_t payload_len = 0;
   for (int i = 0; i < 4; ++i) {
     payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(data[8 + i]))
@@ -122,6 +148,7 @@ Status DecodeFrameHeader(const char* data, size_t len, uint32_t max_payload,
   }
   out->version = version;
   out->type = static_cast<FrameType>(type);
+  out->health = health;
   out->payload_len = payload_len;
   return Status::OK();
 }
@@ -195,7 +222,9 @@ Status DecodeQueryResponse(const std::string& payload, QueryResponse* out) {
       !r.U8(&flags)) {
     return Status::InvalidArgument("frame: truncated QueryResponse payload");
   }
-  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  // kDataLoss is the last code: a store-backed server may surface it
+  // (e.g. a corrupt store detected mid-serve), so it must travel.
+  if (code > static_cast<uint32_t>(StatusCode::kDataLoss)) {
     return Status::InvalidArgument("frame: unknown status code " +
                                    std::to_string(code));
   }
@@ -281,6 +310,58 @@ QueryResponse ResponseFromResult(const Result<ResultSet>& result) {
   return resp;
 }
 
+namespace {
+// HealthInfo flag bits (byte 1).
+constexpr uint8_t kFlagStoreBacked = 1u << 0;
+constexpr uint8_t kFlagReadOnly = 1u << 1;
+constexpr uint8_t kFlagDraining = 1u << 2;
+}  // namespace
+
+std::string EncodeHealthInfo(const HealthInfo& info) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(info.state));
+  uint8_t flags = 0;
+  if (info.store_backed) flags |= kFlagStoreBacked;
+  if (info.read_only) flags |= kFlagReadOnly;
+  if (info.draining) flags |= kFlagDraining;
+  w.U8(flags);
+  w.U64(info.recovered_txns);
+  w.U64(info.recovered_images);
+  w.U64(info.torn_tail_bytes);
+  w.U64(info.active_sessions);
+  w.U64(info.in_flight_queries);
+  w.U64(info.sessions_opened);
+  w.Str(info.detail);
+  return w.Take();
+}
+
+Status DecodeHealthInfo(const std::string& payload, HealthInfo* out) {
+  WireReader r(payload);
+  uint8_t state = 0;
+  uint8_t flags = 0;
+  HealthInfo info;
+  if (!r.U8(&state) || !r.U8(&flags) || !r.U64(&info.recovered_txns) ||
+      !r.U64(&info.recovered_images) || !r.U64(&info.torn_tail_bytes) ||
+      !r.U64(&info.active_sessions) || !r.U64(&info.in_flight_queries) ||
+      !r.U64(&info.sessions_opened) || !r.Str(&info.detail)) {
+    return Status::InvalidArgument("frame: truncated HealthInfo payload");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "frame: trailing bytes after HealthInfo payload");
+  }
+  // A state from a newer server decodes as kUnknown, same compat rule as
+  // the header byte.
+  info.state = state <= static_cast<uint8_t>(HealthState::kReadOnly)
+                   ? static_cast<HealthState>(state)
+                   : HealthState::kUnknown;
+  info.store_backed = (flags & kFlagStoreBacked) != 0;
+  info.read_only = (flags & kFlagReadOnly) != 0;
+  info.draining = (flags & kFlagDraining) != 0;
+  *out = std::move(info);
+  return Status::OK();
+}
+
 std::string EncodeWireError(const WireError& err) {
   WireWriter w;
   w.U32(static_cast<uint32_t>(err.code));
@@ -295,7 +376,7 @@ Status DecodeWireError(const std::string& payload, WireError* out) {
   if (!r.U32(&code) || !r.Str(&message) || !r.AtEnd()) {
     return Status::InvalidArgument("frame: malformed WireError payload");
   }
-  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  if (code > static_cast<uint32_t>(StatusCode::kDataLoss)) {
     return Status::InvalidArgument("frame: unknown status code " +
                                    std::to_string(code));
   }

@@ -6,7 +6,12 @@
 //   0       4     magic   'L' 'Y' 'R' 'C' (raw bytes, not an integer)
 //   4       1     version (kProtocolVersion; mismatch is a protocol error)
 //   5       1     type    (FrameType)
-//   6       2     reserved — senders MUST write 0, receivers ignore it
+//   6       1     health  — server -> client frames carry the server's
+//                 HealthState here (formerly reserved; 0 = unknown, the
+//                 value clients always saw, so old receivers that ignore
+//                 the byte per the original compat rule are unaffected,
+//                 and unknown values decode as kUnknown)
+//   7       1     reserved — senders MUST write 0, receivers ignore it
 //                 (the forward-compat escape hatch: a future version can
 //                 assign flag bits without breaking old receivers)
 //   8       4     payload length, little-endian (bounded by
@@ -61,17 +66,47 @@ enum class FrameType : uint8_t {
   /// unsupported version, oversized frame, undecodable payload). Payload
   /// is a WireError; the server closes the connection after sending it.
   kError = 5,
+  /// Client -> server: health / readiness probe, empty payload.
+  kHealth = 6,
+  /// Server -> client: answer to kHealth (HealthInfo payload).
+  kHealthInfo = 7,
 };
+
+/// Server lifecycle state, carried in header byte 6 of every
+/// server -> client frame and reported in full by kHealthInfo.
+enum class HealthState : uint8_t {
+  /// No state available (also what pre-health servers appear to send).
+  kUnknown = 0,
+  /// Process up, store not yet opened / database not yet hydrated.
+  kStarting = 1,
+  /// WAL replay / store hydration in progress.
+  kRecovering = 2,
+  /// Accepting connections and serving reads and writes.
+  kServing = 3,
+  /// SIGTERM received: not accepting, draining in-flight queries,
+  /// shedding new ones typed.
+  kDraining = 4,
+  /// Store poisoned (fsync error, ENOSPC): reads serve, writes shed.
+  kReadOnly = 5,
+};
+
+/// Stable lower-case name ("serving", "read_only", ...) for logs/JSON.
+const char* HealthStateName(HealthState state);
 
 /// Decoded frame header.
 struct FrameHeader {
   uint8_t version = kProtocolVersion;
   FrameType type = FrameType::kQuery;
+  /// Header byte 6; kUnknown on client -> server frames and from
+  /// servers predating the health protocol.
+  HealthState health = HealthState::kUnknown;
   uint32_t payload_len = 0;
 };
 
-/// Serializes a header into `out[kFrameHeaderBytes]`.
-void EncodeFrameHeader(FrameType type, uint32_t payload_len, char* out);
+/// Serializes a header into `out[kFrameHeaderBytes]`. `health` stamps
+/// byte 6 (server -> client frames); clients leave it kUnknown.
+void EncodeFrameHeader(FrameType type, uint32_t payload_len, char* out,
+                       HealthState health = HealthState::kUnknown);
 
 /// Parses the 12 header bytes. Protocol violations return
 /// kInvalidArgument with a message naming the violated rule (bad magic /
@@ -140,6 +175,32 @@ Status DecodeQueryResponse(const std::string& payload, QueryResponse* out);
 /// server and by tests/loadgen computing expected responses, so both
 /// sides serialize identically by construction.
 QueryResponse ResponseFromResult(const Result<ResultSet>& result);
+
+/// kHealthInfo payload: the server's lifecycle state plus recovery and
+/// load stats, so clients/loadgen can probe readiness and chaos tests
+/// can assert on recovery counters.
+struct HealthInfo {
+  HealthState state = HealthState::kUnknown;
+  /// True when the server fronts a PagedStore (--store).
+  bool store_backed = false;
+  bool read_only = false;
+  bool draining = false;
+  /// What WAL replay found at boot (zero without --store).
+  uint64_t recovered_txns = 0;
+  uint64_t recovered_images = 0;
+  uint64_t torn_tail_bytes = 0;
+  /// Live load.
+  uint64_t active_sessions = 0;
+  uint64_t in_flight_queries = 0;
+  uint64_t sessions_opened = 0;
+  /// Human-readable cause when degraded (e.g. the poisoning status).
+  std::string detail;
+
+  bool operator==(const HealthInfo&) const = default;
+};
+
+std::string EncodeHealthInfo(const HealthInfo& info);
+Status DecodeHealthInfo(const std::string& payload, HealthInfo* out);
 
 /// kError payload: a typed status describing the protocol violation.
 struct WireError {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "storage/paged_store.h"
 
 namespace lyric {
 namespace net {
@@ -23,6 +24,20 @@ uint64_t NowNanos() {
 obs::Gauge& ActiveGauge() {
   static obs::Gauge& gauge =
       obs::Registry::Global().GetGauge("net.connections.active");
+  return gauge;
+}
+
+/// Numeric HealthState mirror for dashboards (3 = serving, 4 =
+/// draining, 5 = read_only — the enum values).
+obs::Gauge& HealthGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("net.health.state");
+  return gauge;
+}
+
+obs::Gauge& InFlightGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Global().GetGauge("net.queries.in_flight");
   return gauge;
 }
 
@@ -69,10 +84,114 @@ Status Server::Start() {
                              ? options_.exec_threads
                              : exec::ThreadPool::HardwareThreads();
   pool_ = std::make_unique<exec::ThreadPool>(workers);
+  // A store that arrived already poisoned (e.g. its last pre-handoff
+  // commit failed) starts the server in read-only rather than letting
+  // the first CREATE discover it.
+  if (options_.store != nullptr) {
+    Status poison = options_.store->poison_status();
+    if (!poison.ok()) EnterReadOnly(poison);
+  }
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  base_health_.store(static_cast<uint8_t>(HealthState::kServing),
+                     std::memory_order_release);
+  HealthGauge().Set(static_cast<int64_t>(health()));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+HealthState Server::health() const {
+  // Display precedence: a drain is the most urgent fact, degraded mode
+  // next, then the boot/serve baseline.
+  if (draining_.load(std::memory_order_acquire)) {
+    return HealthState::kDraining;
+  }
+  if (read_only_.load(std::memory_order_acquire)) {
+    return HealthState::kReadOnly;
+  }
+  return static_cast<HealthState>(
+      base_health_.load(std::memory_order_acquire));
+}
+
+void Server::BeginDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  LYRIC_OBS_COUNT("net.drain.begun");
+  HealthGauge().Set(static_cast<int64_t>(HealthState::kDraining));
+  // Stop accepting: wake the accept thread, join it, then close the
+  // listener so new connects are refused at the TCP level while the
+  // drain runs. Existing sessions stay up to receive their answers
+  // (and typed sheds for anything they send from now on).
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+}
+
+bool Server::WaitForDrainIdle(uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  sync::MutexLock lock(lifecycle_mu_);
+  while (in_flight_ > 0) {
+    if (drain_idle_cv_.WaitUntil(lifecycle_mu_, deadline)) {
+      return in_flight_ == 0;
+    }
+  }
+  return true;
+}
+
+void Server::EnterReadOnly(const Status& cause) {
+  {
+    sync::MutexLock lock(lifecycle_mu_);
+    if (degraded_cause_.ok()) degraded_cause_ = cause;
+  }
+  bool expected = false;
+  if (read_only_.compare_exchange_strong(expected, true)) {
+    LYRIC_OBS_COUNT("net.readonly.entered");
+  }
+  HealthGauge().Set(static_cast<int64_t>(health()));
+}
+
+uint64_t Server::in_flight_queries() const {
+  sync::MutexLock lock(lifecycle_mu_);
+  return in_flight_;
+}
+
+std::string Server::DegradedCauseMessage() const {
+  sync::MutexLock lock(lifecycle_mu_);
+  return degraded_cause_.ok() ? std::string() : degraded_cause_.message();
+}
+
+HealthInfo Server::BuildHealthInfo() {
+  HealthInfo info;
+  info.state = health();
+  info.store_backed = options_.store != nullptr;
+  info.read_only = read_only_.load(std::memory_order_acquire);
+  info.draining = draining_.load(std::memory_order_acquire);
+  if (options_.store != nullptr) {
+    const storage::RecoveryInfo& rec = options_.store->recovery();
+    info.recovered_txns = rec.committed_txns;
+    info.recovered_images = rec.images_applied;
+    info.torn_tail_bytes = rec.torn_tail_bytes;
+  }
+  info.active_sessions = active_sessions();
+  info.in_flight_queries = in_flight_queries();
+  info.sessions_opened = sessions_opened();
+  info.detail = DegradedCauseMessage();
+  return info;
+}
+
+Status Server::SyncStore() {
+  Status st = options_.store->SyncDatabase(*db_);
+  if (!st.ok()) {
+    // The commit never became durable, so the client will NOT be
+    // acknowledged (the caller turns this status into the response) —
+    // no torn acknowledgement. The in-memory view stays visible until
+    // restart; read-only mode quarantines the divergence by refusing
+    // every further mutation (docs/ROBUSTNESS.md).
+    LYRIC_OBS_COUNT("net.store.sync_failures");
+    EnterReadOnly(st);
+  }
+  return st;
 }
 
 void Server::Stop() {
@@ -114,11 +233,15 @@ size_t Server::active_sessions() const {
 }
 
 void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     Result<Socket> accepted = listener_.Accept();
     ReapFinished();
     if (!accepted.ok()) {
-      if (stopping_.load(std::memory_order_acquire)) break;
+      if (stopping_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        break;
+      }
       // Transient accept failure (resource pressure, injected `net`
       // fault killing a handshake): the server must keep serving.
       LYRIC_OBS_COUNT("net.accept_errors");
@@ -215,6 +338,28 @@ Status Server::ServeOneFrame(Session* session) {
         SendProtocolError(session->socket, st);
         return st;
       }
+      // The accepted/shed decision and the in-flight increment are one
+      // atomic step: a query the drain barrier doesn't see coming was
+      // never accepted, and an accepted one is counted before it runs.
+      bool accepted_for_eval = false;
+      {
+        sync::MutexLock lock(lifecycle_mu_);
+        if (!draining_.load(std::memory_order_acquire)) {
+          ++in_flight_;
+          accepted_for_eval = true;
+        }
+      }
+      if (!accepted_for_eval) {
+        LYRIC_OBS_COUNT("net.drain.sheds");
+        QueryResponse shed;
+        shed.status =
+            Status::Unavailable("server draining: not accepting new queries")
+                .WithRetryAfter(options_.drain_retry_after_ms);
+        st = SendFrame(session->socket, FrameType::kResult,
+                       EncodeQueryResponse(shed));
+        break;
+      }
+      InFlightGauge().Add(1);
       // Dispatch the evaluation onto the pool and wait: requests on one
       // connection stay ordered, concurrency comes from other sessions.
       QueryResponse response;
@@ -226,10 +371,32 @@ Status Server::ServeOneFrame(Session* session) {
       latch.WaitFor(0);
       st = SendFrame(session->socket, FrameType::kResult,
                      EncodeQueryResponse(response));
+      // Only after the answer is on the wire (or the transport died) is
+      // the query no longer in flight — the drain contract is "accepted
+      // queries get their responses delivered", not just "evaluated".
+      {
+        sync::MutexLock lock(lifecycle_mu_);
+        --in_flight_;
+        if (in_flight_ == 0) drain_idle_cv_.NotifyAll();
+      }
+      InFlightGauge().Add(-1);
+      break;
+    }
+    case FrameType::kHealth: {
+      if (!payload.empty()) {
+        Status violation =
+            Status::InvalidArgument("frame: HEALTH carries a payload");
+        LYRIC_OBS_COUNT("net.protocol_errors");
+        SendProtocolError(session->socket, violation);
+        return violation;
+      }
+      LYRIC_OBS_COUNT("net.health.probes");
+      st = SendFrame(session->socket, FrameType::kHealthInfo,
+                     EncodeHealthInfo(BuildHealthInfo()));
       break;
     }
     default: {
-      // kResult/kPong/kError only ever travel server -> client.
+      // kResult/kPong/kError/kHealthInfo only ever travel server -> client.
       Status violation = Status::InvalidArgument(
           "frame: unexpected client frame type " +
           std::to_string(static_cast<int>(header.type)));
@@ -261,9 +428,32 @@ QueryResponse Server::HandleQuery(const QueryRequest& request) {
   // std::terminate, whatever the evaluator throws.
   try {
     if (IsSchemaMutation(request.query)) {
+      if (read_only_.load(std::memory_order_acquire)) {
+        LYRIC_OBS_COUNT("net.readonly.sheds");
+        QueryResponse shed;
+        shed.status = Status::Unavailable(
+                          "server read-only (store degraded: " +
+                          DegradedCauseMessage() + "); write shed")
+                          .WithRetryAfter(options_.read_only_retry_after_ms);
+        return shed;
+      }
       sync::WriterMutexLock gate(schema_gate_);
       Evaluator evaluator(db_, opts);
-      return ResponseFromResult(evaluator.Execute(request.query));
+      Result<ResultSet> result = evaluator.Execute(request.query);
+      if (result.ok() && options_.store != nullptr) {
+        // Write-through while still holding the exclusive gate: the
+        // mutation is durable (or the server is degraded) before any
+        // response leaves and before any other mutation can interleave.
+        Status synced = SyncStore();
+        if (!synced.ok()) {
+          QueryResponse failed;
+          failed.status = Status(
+              synced.code(),
+              "store write-through failed: " + synced.message());
+          return failed;
+        }
+      }
+      return ResponseFromResult(result);
     }
     sync::ReaderMutexLock gate(schema_gate_);
     Evaluator evaluator(db_, opts);
@@ -283,7 +473,10 @@ QueryResponse Server::HandleQuery(const QueryRequest& request) {
 Status Server::SendFrame(Socket& socket, FrameType type,
                          const std::string& payload) {
   char header_bytes[kFrameHeaderBytes];
-  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), header_bytes);
+  // Every outgoing frame carries the current lifecycle state in header
+  // byte 6 — clients learn of a drain or degrade without a probe.
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), header_bytes,
+                    health());
   std::string frame(header_bytes, kFrameHeaderBytes);
   frame.append(payload);
   // One write per frame: header+payload must never interleave with

@@ -19,6 +19,23 @@
 //   * CREATE VIEW queries mutate the schema, which concurrent readers
 //     scan unlocked; a server-wide SharedMutex (rank kNetSchemaGate)
 //     serializes them: shared for reads, exclusive for view creation.
+//   * with a PagedStore attached (ServerOptions::store), a schema
+//     mutation is written through to the store — diffed, committed,
+//     fsynced — while the exclusive gate is still held, BEFORE the
+//     client is acknowledged: a committed response is a durable
+//     response. A failed write-through degrades the server to
+//     read-only (reads keep serving, writes shed typed kUnavailable
+//     with a retry-after hint) instead of aborting.
+//   * graceful drain: BeginDrain() stops accepting and closes the
+//     listener, lets every already-accepted query finish and be
+//     answered, and sheds queries arriving after the drain began with
+//     typed kUnavailable — WaitForDrainIdle() is the barrier a
+//     controlled shutdown (lyric_serverd's SIGTERM path) waits on
+//     before Stop().
+//   * every server -> client frame stamps the current HealthState into
+//     header byte 6, and a kHealth probe returns the full HealthInfo
+//     (state, recovery stats, live load) so clients can watch a boot
+//     or a drain from outside.
 //   * protocol violations get a best-effort kError frame and the
 //     connection is closed; transport failures (including injected
 //     LYRIC_FAULT=net faults) drop the connection. Either way the
@@ -50,6 +67,11 @@
 #include "util/sync.h"
 
 namespace lyric {
+
+namespace storage {
+class PagedStore;
+}  // namespace storage
+
 namespace net {
 
 /// Server knobs.
@@ -72,6 +94,18 @@ struct ServerOptions {
   /// Admission goes through this scheduler when set (tests); the
   /// process-wide QueryScheduler::Global() otherwise.
   exec::QueryScheduler* scheduler = nullptr;
+  /// When set, the server is store-backed: schema mutations write
+  /// through to this store (SyncDatabase + commit + fsync) under the
+  /// exclusive schema gate before the client is acknowledged. Not
+  /// owned; must outlive the server. The caller hydrates `db` from the
+  /// store before Start.
+  storage::PagedStore* store = nullptr;
+  /// Retry-after hint (ms) on queries shed because a drain is in
+  /// progress — "come back to the restarted process / another replica".
+  uint64_t drain_retry_after_ms = 50;
+  /// Retry-after hint (ms) on writes shed in read-only mode — the
+  /// store needs operator attention, so back off harder.
+  uint64_t read_only_retry_after_ms = 1000;
 };
 
 /// The server. Start() returns once the listener is live; Stop() (or the
@@ -92,7 +126,39 @@ class Server {
   /// session's socket, joins reader threads, drains the pool.
   void Stop();
 
+  /// Starts a graceful drain (idempotent): stops accepting (the
+  /// listener is closed, so new connects are refused at the TCP
+  /// level), lets already-accepted queries finish and be answered, and
+  /// sheds queries arriving afterwards with typed kUnavailable +
+  /// retry-after. Sessions stay open so those sheds reach their
+  /// clients; call WaitForDrainIdle then Stop to finish. Like Stop,
+  /// must be driven from the control thread.
+  void BeginDrain();
+
+  /// Blocks until no accepted query is still evaluating, or
+  /// `timeout_ms` elapses. Returns true when idle was reached.
+  bool WaitForDrainIdle(uint64_t timeout_ms) LYRIC_EXCLUDES(lifecycle_mu_);
+
+  /// Degrades the server to read-only with `cause` (idempotent): reads
+  /// keep serving, schema mutations shed typed kUnavailable. Entered
+  /// automatically when a store write-through fails; exposed so a
+  /// supervisor can force it.
+  void EnterReadOnly(const Status& cause) LYRIC_EXCLUDES(lifecycle_mu_);
+
+  /// The lifecycle state stamped into every outgoing frame header.
+  HealthState health() const;
+  /// The full health report a kHealth probe returns.
+  HealthInfo BuildHealthInfo() LYRIC_EXCLUDES(lifecycle_mu_);
+
   bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  /// Accepted queries currently evaluating (or having their response
+  /// written). The drain barrier waits for this to hit zero.
+  uint64_t in_flight_queries() const LYRIC_EXCLUDES(lifecycle_mu_);
+
   /// The bound port (after Start).
   uint16_t port() const { return port_; }
 
@@ -117,6 +183,12 @@ class Server {
 
   void AcceptLoop();
   void ServeConnection(Session* session);
+  /// Write-through after a successful schema mutation; called on a pool
+  /// worker holding the exclusive schema gate. Non-OK poisons -> the
+  /// server enters read-only and the status becomes the response.
+  Status SyncStore() LYRIC_EXCLUDES(lifecycle_mu_);
+  /// The degraded-mode cause message ("" while healthy).
+  std::string DegradedCauseMessage() const LYRIC_EXCLUDES(lifecycle_mu_);
   /// Reads and serves one frame. Non-OK means the connection is finished
   /// (clean close, transport failure, or protocol violation).
   Status ServeOneFrame(Session* session);
@@ -138,7 +210,23 @@ class Server {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> read_only_{false};
+  /// kStarting until Start succeeds, then kServing; draining_/read_only_
+  /// take display precedence (see health()).
+  std::atomic<uint8_t> base_health_{
+      static_cast<uint8_t>(HealthState::kStarting)};
   std::atomic<uint64_t> sessions_opened_{0};
+
+  /// Lifecycle state: the in-flight count the drain barrier waits on,
+  /// and the degraded-mode cause. Rank kNetLifecycle (8) — above the
+  /// schema gate (6), because a failed write-through enters read-only
+  /// while still holding the exclusive gate.
+  mutable sync::Mutex lifecycle_mu_{sync::LockRank::kNetLifecycle,
+                                    "net_lifecycle"};
+  sync::CondVar drain_idle_cv_;
+  uint64_t in_flight_ LYRIC_GUARDED_BY(lifecycle_mu_) = 0;
+  Status degraded_cause_ LYRIC_GUARDED_BY(lifecycle_mu_);
 
   mutable sync::Mutex mu_{sync::LockRank::kNetSession, "net_session"};
   std::map<uint64_t, std::unique_ptr<Session>> sessions_

@@ -49,6 +49,32 @@ int64_t CrashBudget() {
   return g_crash_budget.load(std::memory_order_relaxed);
 }
 
+// LYRIC_STORAGE_FULL_AT=<n>: the write that would push total written
+// bytes past n fails whole with kResourceExhausted, and so does every
+// write after it — sticky, like a genuinely full filesystem. The armed
+// flag is separate from the budget because the budget keeps burning
+// below zero once "full"; a negative budget with the flag up still
+// means ENOSPC. Parsed once; the counter is process-wide.
+std::atomic<int64_t> g_full_budget{-1};
+std::atomic<bool> g_full_armed{false};
+std::atomic<bool> g_full_armed_checked{false};
+
+bool DiskFullArmed() {
+  if (!g_full_armed_checked.load(std::memory_order_acquire)) {
+    const char* env = std::getenv("LYRIC_STORAGE_FULL_AT");
+    int64_t budget = -1;
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      long long v = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0) budget = v;
+    }
+    g_full_budget.store(budget, std::memory_order_relaxed);
+    g_full_armed.store(budget >= 0, std::memory_order_relaxed);
+    g_full_armed_checked.store(true, std::memory_order_release);
+  }
+  return g_full_armed.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int64_t CrashBudgetRemainingForTesting() { return CrashBudget(); }
@@ -56,6 +82,17 @@ int64_t CrashBudgetRemainingForTesting() { return CrashBudget(); }
 void ArmCrashBudgetForTesting(int64_t budget) {
   g_crash_budget.store(budget, std::memory_order_relaxed);
   g_crash_armed_checked.store(true, std::memory_order_release);
+}
+
+int64_t DiskFullBudgetRemainingForTesting() {
+  DiskFullArmed();  // force the env parse
+  return g_full_budget.load(std::memory_order_relaxed);
+}
+
+void ArmDiskFullForTesting(int64_t budget) {
+  g_full_budget.store(budget, std::memory_order_relaxed);
+  g_full_armed.store(budget >= 0, std::memory_order_relaxed);
+  g_full_armed_checked.store(true, std::memory_order_release);
 }
 
 File::~File() {
@@ -137,6 +174,19 @@ Status File::WriteAt(uint64_t offset, const void* buf, size_t len) {
   if (fd_ < 0) return Status::Internal("write on closed file");
   if (fault::Enabled() && fault::Inject(fault::kSiteStorage)) {
     return InjectedFault("write");
+  }
+  if (DiskFullArmed()) {
+    // The crossing write fails whole — a full disk must never leave a
+    // torn record behind — and the budget stays burned, so every write
+    // after it keeps failing until space is "freed" (test re-arms).
+    int64_t before = g_full_budget.fetch_sub(static_cast<int64_t>(len),
+                                             std::memory_order_relaxed);
+    if (before < static_cast<int64_t>(len)) {
+      LYRIC_OBS_COUNT("storage.fault.enospc");
+      return Status::ResourceExhausted(
+          "no space left on device (injected ENOSPC) writing '" + path_ +
+          "'");
+    }
   }
   size_t done = 0;
   const char* in = static_cast<const char*>(buf);

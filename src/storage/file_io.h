@@ -17,6 +17,13 @@
 //     never happens. The crash-matrix recovery test sweeps n across a
 //     whole log to prove every torn commit recovers to the last durable
 //     state.
+//  4. Deterministic disk exhaustion. LYRIC_STORAGE_FULL_AT=<n> makes the
+//     disk "fill up" after n bytes of writes: the write that would cross
+//     the budget fails whole (nothing torn) with typed
+//     kResourceExhausted, and every later write keeps failing — exactly
+//     how a full filesystem behaves until space is freed. The ENOSPC
+//     fault-gate tests prove a full disk surfaces as a typed error
+//     through the server, never an abort.
 
 #ifndef LYRIC_STORAGE_FILE_IO_H_
 #define LYRIC_STORAGE_FILE_IO_H_
@@ -94,6 +101,16 @@ int64_t CrashBudgetRemainingForTesting();
 /// storage I/O; the fork inherits the parsed-and-disarmed state, so the
 /// child re-arms through this hook. Tests only.
 void ArmCrashBudgetForTesting(int64_t budget);
+
+/// The LYRIC_STORAGE_FULL_AT byte budget remaining, or a negative value
+/// when no disk-full point is armed. Exposed for tests.
+int64_t DiskFullBudgetRemainingForTesting();
+
+/// Arms (or, with a negative value, disarms) the injected-ENOSPC budget
+/// directly, bypassing the once-per-process LYRIC_STORAGE_FULL_AT parse.
+/// Once the budget is crossed, writes fail sticky with typed
+/// kResourceExhausted until re-armed/disarmed. Tests only.
+void ArmDiskFullForTesting(int64_t budget);
 
 }  // namespace storage
 }  // namespace lyric

@@ -23,6 +23,37 @@ std::string SeqKey(char prefix, uint64_t seq) {
   return buf;
 }
 
+/// Renders `db` as the full record map the store should hold — the one
+/// source of truth for the key scheme, shared by ImportDatabase (write
+/// everything into an empty store) and SyncDatabase (diff against a
+/// live store).
+Status BuildRecords(const Database& db,
+                    std::map<std::string, std::string>* out) {
+  uint64_t seq = 0;
+  for (const std::string& name : db.schema().ClassNames()) {
+    LYRIC_ASSIGN_OR_RETURN(const ClassDef* def, db.schema().GetClass(name));
+    LYRIC_ASSIGN_OR_RETURN(std::string text, Serializer::ClassText(*def));
+    (*out)[SeqKey('C', seq++)] = std::move(text);
+  }
+  for (const auto& [oid, rec] : db.objects()) {
+    const std::string oid_text = oid.ToString();
+    (*out)[std::string("O\x1f") + oid_text] = rec.class_name;
+    for (const auto& [attr, value] : rec.attrs) {
+      LYRIC_ASSIGN_OR_RETURN(std::string vt, Serializer::ValueText(db, value));
+      (*out)["A\x1f" + oid_text + "\x1f" + attr] = std::move(vt);
+    }
+  }
+  seq = 0;
+  for (const auto& [oid, classes] : db.extra_instance_of()) {
+    for (const std::string& cls : classes) {
+      LYRIC_ASSIGN_OR_RETURN(std::string line,
+                             Serializer::InstanceOfLine(db, oid, cls));
+      (*out)[SeqKey('I', seq++)] = std::move(line);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PagedStore>> PagedStore::Open(
@@ -154,6 +185,10 @@ Result<std::string> PagedStore::Get(std::string_view key) {
 Status PagedStore::Delete(std::string_view key) {
   sync::MutexLock lock(mu_);
   LYRIC_RETURN_NOT_OK(poisoned_);
+  return DeleteLocked(key);
+}
+
+Status PagedStore::DeleteLocked(std::string_view key) {
   auto existed_or = tree_->Delete(meta_.btree_root, key);
   if (!existed_or.ok()) return MaybePoison(existed_or.status());
   if (existed_or.value()) {
@@ -274,32 +309,48 @@ Status PagedStore::ImportDatabase(const Database& db) {
         "ImportDatabase requires an empty store; '" + opts_.path +
         "' holds " + std::to_string(meta_.record_count) + " records");
   }
-  uint64_t seq = 0;
-  for (const std::string& name : db.schema().ClassNames()) {
-    LYRIC_ASSIGN_OR_RETURN(const ClassDef* def, db.schema().GetClass(name));
-    LYRIC_ASSIGN_OR_RETURN(std::string text, Serializer::ClassText(*def));
-    LYRIC_RETURN_NOT_OK(PutLocked(SeqKey('C', seq++), text));
-  }
-  for (const auto& [oid, rec] : db.objects()) {
-    const std::string oid_text = oid.ToString();
-    LYRIC_RETURN_NOT_OK(
-        PutLocked(std::string("O\x1f") + oid_text, rec.class_name));
-    for (const auto& [attr, value] : rec.attrs) {
-      LYRIC_ASSIGN_OR_RETURN(std::string vt,
-                             Serializer::ValueText(db, value));
-      LYRIC_RETURN_NOT_OK(
-          PutLocked("A\x1f" + oid_text + "\x1f" + attr, vt));
-    }
-  }
-  seq = 0;
-  for (const auto& [oid, classes] : db.extra_instance_of()) {
-    for (const std::string& cls : classes) {
-      LYRIC_ASSIGN_OR_RETURN(std::string line,
-                             Serializer::InstanceOfLine(db, oid, cls));
-      LYRIC_RETURN_NOT_OK(PutLocked(SeqKey('I', seq++), line));
-    }
+  std::map<std::string, std::string> records;
+  LYRIC_RETURN_NOT_OK(BuildRecords(db, &records));
+  for (const auto& [key, value] : records) {
+    LYRIC_RETURN_NOT_OK(PutLocked(key, value));
   }
   LYRIC_OBS_COUNT("storage.store.imports");
+  return CommitLocked();
+}
+
+Status PagedStore::SyncDatabase(const Database& db) {
+  static obs::Histogram& sync_ns =
+      obs::Registry::Global().GetHistogram("storage.sync_db_ns");
+  sync::MutexLock lock(mu_);
+  LYRIC_RETURN_NOT_OK(poisoned_);
+  obs::ScopedHistogramTimer timer(sync_ns);
+  std::map<std::string, std::string> desired;
+  LYRIC_RETURN_NOT_OK(BuildRecords(db, &desired));
+  std::map<std::string, std::string> current;
+  {
+    Status st = tree_->Scan(
+        meta_.btree_root, "",
+        [&](std::string_view key, std::string_view value) -> Result<bool> {
+          current.emplace(std::string(key), std::string(value));
+          return true;
+        });
+    if (!st.ok()) return MaybePoison(st);
+  }
+  bool changed = false;
+  for (const auto& [key, value] : desired) {
+    auto it = current.find(key);
+    if (it != current.end() && it->second == value) continue;
+    LYRIC_RETURN_NOT_OK(PutLocked(key, value));
+    changed = true;
+  }
+  for (const auto& [key, value] : current) {
+    static_cast<void>(value);
+    if (desired.count(key) != 0) continue;
+    LYRIC_RETURN_NOT_OK(DeleteLocked(key));
+    changed = true;
+  }
+  if (!changed) return Status::OK();
+  LYRIC_OBS_COUNT("storage.store.syncs");
   return CommitLocked();
 }
 
@@ -377,6 +428,11 @@ uint64_t PagedStore::RecordCount() {
 bool PagedStore::HasUncommitted() {
   sync::MutexLock lock(mu_);
   return pool_ != nullptr && pool_->HasUnlogged();
+}
+
+Status PagedStore::poison_status() {
+  sync::MutexLock lock(mu_);
+  return poisoned_;
 }
 
 }  // namespace storage

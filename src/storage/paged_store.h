@@ -109,10 +109,21 @@ class PagedStore : private PageAllocator {
   /// Reassembles the stored records into a Serializer dump and loads it
   /// into the (empty) `db`.
   Status ExportToDatabase(Database* db) LYRIC_EXCLUDES(mu_);
+  /// Diffs `db` against the stored records and commits the difference
+  /// in one transaction — the write-through path for a live server:
+  /// after a schema mutation evaluates, SyncDatabase makes the new
+  /// state durable before the client is acknowledged. No-op commit when
+  /// nothing changed. A failed sync poisons the store fail-stop like
+  /// any other failed commit; the durable state stays the previous
+  /// committed prefix.
+  Status SyncDatabase(const Database& db) LYRIC_EXCLUDES(mu_);
 
   uint64_t RecordCount() LYRIC_EXCLUDES(mu_);
   /// True when uncommitted mutations are buffered.
   bool HasUncommitted() LYRIC_EXCLUDES(mu_);
+  /// The first poisoning error — OK while the store is healthy. Lets a
+  /// server distinguish "degrade to read-only" from "keep serving".
+  Status poison_status() LYRIC_EXCLUDES(mu_);
   const RecoveryInfo& recovery() const { return recovery_; }
   const std::string& path() const { return opts_.path; }
 
@@ -129,6 +140,7 @@ class PagedStore : private PageAllocator {
 
   Status PutLocked(std::string_view key, std::string_view value)
       LYRIC_REQUIRES(mu_);
+  Status DeleteLocked(std::string_view key) LYRIC_REQUIRES(mu_);
   Status CommitLocked() LYRIC_REQUIRES(mu_);
   Status CheckpointLocked() LYRIC_REQUIRES(mu_);
   /// Poisons the store on non-validation errors and returns `st`.

@@ -111,6 +111,11 @@ enum class LockRank : int {
   /// exclusive for CREATE VIEW. Held across a whole evaluation, so it
   /// must rank before every lock evaluation can take (scheduler first).
   kNetSchemaGate = 6,
+  /// lyric_serverd lifecycle state (net/server.h): in-flight query
+  /// count, drain condvar, degraded-mode cause. Above the schema gate
+  /// because a failed store write-through degrades the server to
+  /// read-only while still holding the exclusive gate.
+  kNetLifecycle = 8,
   /// QueryScheduler admission ledger + wait queue (exec/scheduler.h).
   kScheduler = 10,
   /// ThreadPool task queue (exec/thread_pool.h).

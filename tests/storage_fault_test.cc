@@ -27,8 +27,14 @@ std::string FreshPath(const std::string& name) {
 
 class StorageFaultTest : public ::testing::Test {
  protected:
-  void SetUp() override { ASSERT_TRUE(fault::ConfigureForTesting("")); }
-  void TearDown() override { ASSERT_TRUE(fault::ConfigureForTesting("")); }
+  void SetUp() override {
+    ASSERT_TRUE(fault::ConfigureForTesting(""));
+    ArmDiskFullForTesting(-1);
+  }
+  void TearDown() override {
+    ASSERT_TRUE(fault::ConfigureForTesting(""));
+    ArmDiskFullForTesting(-1);
+  }
 };
 
 TEST_F(StorageFaultTest, InjectedIoFailuresAreTypedUnavailable) {
@@ -142,6 +148,54 @@ TEST_F(StorageFaultTest, ProbabilisticFaultsNeverCorrupt) {
   }
   ASSERT_TRUE(final_store->Close().ok());
   SUCCEED() << "survived with " << reopens << " reopens";
+}
+
+TEST_F(StorageFaultTest, DiskFullFailsWholeAndSticks) {
+  // A budget of 8 bytes: a 16-byte write must fail WHOLE (a full disk
+  // never leaves a torn record), and every write after it — even one
+  // that would fit the original budget — keeps failing, like a
+  // genuinely full filesystem.
+  File f = File::OpenReadWrite(FreshPath("sf_enospc_raw.bin")).value();
+  ArmDiskFullForTesting(8);
+  char buf[16] = {};
+  Status w1 = f.WriteAt(0, buf, sizeof buf);
+  EXPECT_TRUE(w1.IsResourceExhausted()) << w1;
+  EXPECT_NE(w1.message().find("no space left"), std::string::npos);
+  EXPECT_EQ(f.Size().value(), 0u) << "a failed ENOSPC write tore bytes";
+  Status w2 = f.WriteAt(0, buf, 1);
+  EXPECT_TRUE(w2.IsResourceExhausted()) << "ENOSPC was not sticky: " << w2;
+  // "Freeing space" (disarming) makes writes work again.
+  ArmDiskFullForTesting(-1);
+  EXPECT_TRUE(f.WriteAt(0, buf, sizeof buf).ok());
+}
+
+TEST_F(StorageFaultTest, DiskFullCommitPoisonsButReopenRecovers) {
+  std::string path = FreshPath("sf_enospc.lyricpg");
+  {
+    auto store = PagedStore::Open({.path = path}).value();
+    ASSERT_TRUE(store->Put("committed", "fits").ok());
+    ASSERT_TRUE(store->Commit().ok());
+    ASSERT_TRUE(store->Put("lost", "does-not-fit").ok());
+
+    // The disk fills up: the commit must surface the typed
+    // kResourceExhausted (operators alert on it differently than on
+    // kUnavailable)...
+    ArmDiskFullForTesting(0);
+    Status c = store->Commit();
+    ASSERT_FALSE(c.ok());
+    EXPECT_TRUE(c.IsResourceExhausted()) << c;
+
+    // ...and poison fail-stop like any failed commit.
+    EXPECT_FALSE(store->Put("more", "x").ok());
+    EXPECT_TRUE(store->poison_status().IsResourceExhausted());
+    ArmDiskFullForTesting(-1);
+    (void)store->Close();
+  }
+  // Space freed, reopen: exactly the durable prefix is back.
+  auto store = PagedStore::Open({.path = path}).value();
+  EXPECT_EQ(store->Get("committed").value(), "fits");
+  EXPECT_TRUE(store->Get("lost").status().IsNotFound());
+  ASSERT_TRUE(store->Close().ok());
 }
 
 }  // namespace

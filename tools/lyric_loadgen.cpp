@@ -5,6 +5,7 @@
 //   lyric_loadgen [--clients 1,8,64] [--rounds 5] [--qps 0]
 //                 [--scale 12] [--exec-threads 4] [--max-concurrent 0]
 //                 [--retries 8] [--retry-base-ms 1]
+//                 [--connect HOST:PORT]
 //                 [--out BENCH_server.json]
 //
 // The tool starts an in-process server over the Figure 2 office database
@@ -13,6 +14,13 @@
 // client count spawns that many threads, each owning one net::Client.
 // Every response's Fingerprint() must byte-match the expectation —
 // a mismatch is a correctness failure and the exit code is non-zero.
+//
+// With --connect HOST:PORT no in-process server is started: the load is
+// driven against a running lyric_serverd (which must serve the same
+// office database at the same --scale, e.g. one hydrated from a store
+// seeded by this tool's suite). The chaos harness and the operating
+// docs use this mode; reconnects and in_flight_at_disconnect in the
+// JSON tell how the external server's restarts/drains treated us.
 //
 // With --max-concurrent > 0 the server's scheduler sheds under the
 // 64-client burst; clients absorb sheds with their RetryPolicy (honoring
@@ -71,6 +79,7 @@ struct Options {
   uint64_t queue_capacity = 0;  // 0 = scheduler default
   uint32_t retries = 8;
   uint64_t retry_base_ms = 1;
+  std::string connect;  // "host:port" -> drive an external server
   std::string out = "BENCH_server.json";
 };
 
@@ -130,6 +139,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next("--retry-base-ms");
       if (v == nullptr) return false;
       opt->retry_base_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--connect") {
+      const char* v = next("--connect");
+      if (v == nullptr) return false;
+      opt->connect = v;
     } else if (arg == "--out") {
       const char* v = next("--out");
       if (v == nullptr) return false;
@@ -138,7 +151,7 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       std::cerr << "usage: lyric_loadgen [--clients 1,8,64] [--rounds N] "
                    "[--qps Q] [--scale N] [--exec-threads N] "
                    "[--max-concurrent N] [--retries N] [--retry-base-ms MS] "
-                   "[--out FILE]\n";
+                   "[--connect HOST:PORT] [--out FILE]\n";
       return false;
     } else {
       std::cerr << "loadgen: unknown flag " << arg << "\n";
@@ -204,15 +217,33 @@ int main(int argc, char** argv) {
   if (opt.queue_capacity > 0) limits.queue_capacity = opt.queue_capacity;
   lyric::exec::QueryScheduler scheduler(limits);
 
-  lyric::net::ServerOptions server_options;
-  server_options.exec_threads = opt.exec_threads;
-  server_options.eval = base;
-  server_options.scheduler = &scheduler;
-  lyric::net::Server server(&db, server_options);
-  Status st = server.Start();
-  if (!st.ok()) {
-    std::cerr << "loadgen: server start: " << st.ToString() << "\n";
-    return 2;
+  // --connect drives a running lyric_serverd; otherwise the load runs
+  // against an in-process server over the same database.
+  std::string target_host = "127.0.0.1";
+  uint16_t target_port = 0;
+  std::unique_ptr<lyric::net::Server> server;
+  if (!opt.connect.empty()) {
+    const size_t colon = opt.connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= opt.connect.size()) {
+      std::cerr << "loadgen: --connect wants HOST:PORT, got '" << opt.connect
+                << "'\n";
+      return 2;
+    }
+    target_host = opt.connect.substr(0, colon);
+    target_port = static_cast<uint16_t>(
+        std::atoi(opt.connect.c_str() + colon + 1));
+  } else {
+    lyric::net::ServerOptions server_options;
+    server_options.exec_threads = opt.exec_threads;
+    server_options.eval = base;
+    server_options.scheduler = &scheduler;
+    server = std::make_unique<lyric::net::Server>(&db, server_options);
+    Status st = server->Start();
+    if (!st.ok()) {
+      std::cerr << "loadgen: server start: " << st.ToString() << "\n";
+      return 2;
+    }
+    target_port = server->port();
   }
 
   std::ostringstream json;
@@ -236,7 +267,8 @@ int main(int argc, char** argv) {
         workers.emplace_back([&, c] {
           WorkerResult& wr = results[static_cast<size_t>(c)];
           lyric::net::ClientOptions copt;
-          copt.port = server.port();
+          copt.host = target_host;
+          copt.port = target_port;
           copt.threads = 1;
           copt.retry.max_retries = opt.retries;
           copt.retry.base_backoff_ms = opt.retry_base_ms;
@@ -289,6 +321,7 @@ int main(int argc, char** argv) {
     std::vector<uint64_t> latencies;
     uint64_t ok = 0, shed_final = 0, mismatches = 0, errors = 0;
     uint64_t shed_responses = 0, wire_sends = 0, requests = 0;
+    uint64_t reconnects = 0, in_flight_at_disconnect = 0;
     for (const WorkerResult& wr : results) {
       latencies.insert(latencies.end(), wr.latencies_us.begin(),
                        wr.latencies_us.end());
@@ -299,6 +332,8 @@ int main(int argc, char** argv) {
       shed_responses += wr.client_stats.shed_responses;
       wire_sends += wr.client_stats.sends;
       requests += wr.client_stats.requests;
+      reconnects += wr.client_stats.reconnects;
+      in_flight_at_disconnect += wr.client_stats.in_flight_at_disconnect;
     }
     std::sort(latencies.begin(), latencies.end());
     const uint64_t p50 = Percentile(latencies, 0.50);
@@ -311,6 +346,8 @@ int main(int argc, char** argv) {
          << ", \"shed_responses\": " << shed_responses
          << ", \"shed_final\": " << shed_final
          << ", \"mismatches\": " << mismatches << ", \"errors\": " << errors
+         << ", \"reconnects\": " << reconnects
+         << ", \"in_flight_at_disconnect\": " << in_flight_at_disconnect
          << ", \"p50_us\": " << p50 << ", \"p99_us\": " << p99
          << ", \"wall_ms\": " << wall_ms << "}"
          << (cfg + 1 < opt.client_counts.size() ? "," : "") << "\n";
@@ -318,12 +355,14 @@ int main(int argc, char** argv) {
     std::cout << "clients=" << n_clients << " requests=" << requests
               << " ok=" << ok << " shed=" << shed_responses << " (final "
               << shed_final << ") mismatches=" << mismatches
-              << " errors=" << errors << " p50=" << p50 << "us p99=" << p99
+              << " errors=" << errors << " reconnects=" << reconnects
+              << " in_flight_at_disconnect=" << in_flight_at_disconnect
+              << " p50=" << p50 << "us p99=" << p99
               << "us wall=" << wall_ms << "ms\n";
   }
 
   json << "  ]\n}\n";
-  server.Stop();
+  if (server) server->Stop();
 
   std::ofstream out(opt.out);
   if (!out) {

@@ -1,31 +1,68 @@
 // lyric_serverd: the standalone LyriC query server.
 //
 //   lyric_serverd [--host 127.0.0.1] [--port 7464] [--load dump.lyricdb]
-//                 [--scale N] [--exec-threads N] [--eval-threads N]
-//                 [--max-rows N] [--max-concurrent N] [--queue-capacity N]
-//                 [--queue-timeout-ms N] [--max-memory BYTES]
+//                 [--store store.lyricpg] [--scale N] [--exec-threads N]
+//                 [--eval-threads N] [--max-rows N] [--max-concurrent N]
+//                 [--queue-capacity N] [--queue-timeout-ms N]
+//                 [--max-memory BYTES] [--drain-deadline-ms N]
+//                 [--port-file PATH]
 //
-// Serves either a persisted database dump (--load, the storage-layer
-// text format) or the built-in Figure 2 office database (optionally
-// grown with --scale extra desks) until SIGINT/SIGTERM. The admission
-// flags configure a scheduler owned by this process; with none given the
-// evaluator falls back to the process-wide scheduler and its
-// LYRIC_MAX_CONCURRENT / LYRIC_QUEUE_* environment limits.
+// Serves one of:
+//   * --store PATH   a crash-safe PagedStore. Boot runs WAL redo
+//                    recovery, then hydrates the serving database from
+//                    the store; an empty store is seeded from --load or
+//                    the built-in office database and the seed is
+//                    committed before the listener opens. Schema
+//                    mutations write through to the store before the
+//                    client is acknowledged (docs/ROBUSTNESS.md).
+//   * --load FILE    a persisted dump (storage-layer text format),
+//                    memory-only.
+//   * neither        the built-in Figure 2 office database (optionally
+//                    grown with --scale extra desks), memory-only.
+//
+// Lifecycle (docs/SERVER.md "Lifecycle and health"):
+//
+//   SIGTERM/SIGINT   graceful drain: stop accepting, answer every
+//                    already-accepted query, wait for connected clients
+//                    to disconnect, checkpoint + close the store, exit 0.
+//                    --drain-deadline-ms bounds the wait (default 5000).
+//   second signal    hard stop, exit 3 (durable state is still safe:
+//                    every acknowledged commit is on disk).
+//
+// Signals are observed via sigaction + self-pipe — the handler writes
+// one byte; the main thread blocks in poll() on the pipe, so shutdown
+// latency is the syscall wakeup, not a poll interval.
+//
+// --port-file writes "PORT\n" atomically once the listener is live;
+// supervisors (the chaos harness) use it to discover an ephemeral port.
+//
+// The admission flags configure a scheduler owned by this process; with
+// none given the evaluator falls back to the process-wide scheduler and
+// its LYRIC_MAX_CONCURRENT / LYRIC_QUEUE_* environment limits.
 //
 // Protocol, frame layout, and error mapping: docs/SERVER.md. Talk to it
 // with net::Client or tools/lyric_loadgen.
 
-#include <csignal>
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 
 #include "exec/scheduler.h"
 #include "net/server.h"
 #include "office/office_db.h"
+#include "storage/file_io.h"
+#include "storage/paged_store.h"
 #include "storage/serializer.h"
 
 namespace {
@@ -36,11 +73,14 @@ using lyric::Status;
 struct Options {
   std::string host = "127.0.0.1";
   int port = 7464;
-  std::string load;  // empty = built-in office database
+  std::string load;   // dump file; empty = built-in office database
+  std::string store;  // PagedStore path; empty = memory-only serving
+  std::string port_file;
   int scale = 0;
   size_t exec_threads = 0;  // 0 = hardware concurrency
   size_t eval_threads = 0;  // 0 = evaluator default
   uint64_t max_rows = 0;
+  uint64_t drain_deadline_ms = 5000;
   std::optional<uint64_t> max_concurrent;
   std::optional<uint64_t> queue_capacity;
   std::optional<uint64_t> queue_timeout_ms;
@@ -67,6 +107,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (arg == "--load") {
       if ((v = next("--load")) == nullptr) return false;
       opt->load = v;
+    } else if (arg == "--store") {
+      if ((v = next("--store")) == nullptr) return false;
+      opt->store = v;
+    } else if (arg == "--port-file") {
+      if ((v = next("--port-file")) == nullptr) return false;
+      opt->port_file = v;
     } else if (arg == "--scale") {
       if ((v = next("--scale")) == nullptr) return false;
       opt->scale = std::atoi(v);
@@ -79,6 +125,9 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     } else if (arg == "--max-rows") {
       if ((v = next("--max-rows")) == nullptr) return false;
       opt->max_rows = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--drain-deadline-ms") {
+      if ((v = next("--drain-deadline-ms")) == nullptr) return false;
+      opt->drain_deadline_ms = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--max-concurrent") {
       if ((v = next("--max-concurrent")) == nullptr) return false;
       opt->max_concurrent = static_cast<uint64_t>(std::atoll(v));
@@ -93,10 +142,11 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       opt->max_memory = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "usage: lyric_serverd [--host H] [--port P] "
-                   "[--load FILE] [--scale N] [--exec-threads N] "
-                   "[--eval-threads N] [--max-rows N] [--max-concurrent N] "
+                   "[--load FILE] [--store FILE] [--port-file PATH] "
+                   "[--scale N] [--exec-threads N] [--eval-threads N] "
+                   "[--max-rows N] [--max-concurrent N] "
                    "[--queue-capacity N] [--queue-timeout-ms N] "
-                   "[--max-memory BYTES]\n";
+                   "[--max-memory BYTES] [--drain-deadline-ms N]\n";
       return false;
     } else {
       std::cerr << "lyric_serverd: unknown flag " << arg << "\n";
@@ -106,43 +156,152 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
   return true;
 }
 
-volatile std::sig_atomic_t g_stop = 0;
-void HandleSignal(int) { g_stop = 1; }
+// Self-pipe: the handler's only action is a single write() — the one
+// async-signal-safe way to hand the event to the main thread, which
+// blocks in poll() on the read end. O_NONBLOCK keeps a signal storm
+// from ever blocking the handler.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 1;
+  // EAGAIN (pipe full) is fine: one pending byte already means "shut
+  // down"; additional signals are counted by draining the pipe later.
+  ssize_t ignored = write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+bool InstallSignalHandlers() {
+  if (pipe2(g_signal_pipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+    std::cerr << "lyric_serverd: pipe2: " << errno << "\n";
+    return false;
+  }
+  struct sigaction sa;
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGINT, &sa, nullptr) != 0 ||
+      sigaction(SIGTERM, &sa, nullptr) != 0) {
+    std::cerr << "lyric_serverd: sigaction: " << errno << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Blocks up to `timeout_ms` (-1 = forever) for a signal byte; drains
+/// and returns the number of bytes seen (0 on timeout).
+int AwaitSignal(int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = g_signal_pipe[0];
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return 0;
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // retry; the byte is still coming
+      return 0;
+    }
+    char buf[16];
+    int seen = 0;
+    for (;;) {
+      const ssize_t n = read(g_signal_pipe[0], buf, sizeof buf);
+      if (n > 0) {
+        seen += static_cast<int>(n);
+        continue;
+      }
+      break;  // EAGAIN: pipe drained
+    }
+    if (seen > 0) return seen;
+  }
+}
+
+/// Seeds `db` from --load or the built-in office database.
+Status BuildInitialDatabase(const Options& opt, Database* db) {
+  if (!opt.load.empty()) {
+    LYRIC_RETURN_NOT_OK(lyric::Serializer::LoadFromFile(opt.load, db));
+    std::cout << "lyric_serverd: loaded " << opt.load << "\n";
+    return Status::OK();
+  }
+  auto ids = lyric::office::BuildOfficeDatabase(db);
+  if (!ids.ok()) return ids.status();
+  if (opt.scale > 0) {
+    LYRIC_RETURN_NOT_OK(
+        lyric::office::AddScaledDesks(db, opt.scale, /*seed=*/7));
+  }
+  std::cout << "lyric_serverd: serving the built-in office database"
+            << (opt.scale > 0 ? " (+" + std::to_string(opt.scale) + " desks)"
+                              : "")
+            << "\n";
+  return Status::OK();
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   if (!ParseArgs(argc, argv, &opt)) return 2;
+  if (!InstallSignalHandlers()) return 2;
 
+  // -- hydrate -------------------------------------------------------------
   Database db;
-  if (!opt.load.empty()) {
-    Status st = lyric::Serializer::LoadFromFile(opt.load, &db);
+  std::unique_ptr<lyric::storage::PagedStore> store;
+  if (!opt.store.empty()) {
+    lyric::storage::StoreOptions sopt;
+    sopt.path = opt.store;
+    auto opened = lyric::storage::PagedStore::Open(sopt);
+    if (!opened.ok()) {
+      std::cerr << "lyric_serverd: store open failed: "
+                << opened.status().ToString() << "\n";
+      return 1;
+    }
+    store = std::move(*opened);
+    const auto& rec = store->recovery();
+    std::cout << "lyric_serverd: opened store " << opt.store << " (recovered "
+              << rec.committed_txns << " txns, " << rec.images_applied
+              << " page images, torn tail " << rec.torn_tail_bytes
+              << " bytes)\n";
+    if (store->RecordCount() == 0) {
+      // Fresh store: seed it from --load / the office database, and
+      // make the seed durable BEFORE the listener opens — a crash
+      // after boot replays to this exact state.
+      Status st = BuildInitialDatabase(opt, &db);
+      if (!st.ok()) {
+        std::cerr << "lyric_serverd: seed failed: " << st.ToString() << "\n";
+        return 1;
+      }
+      st = store->ImportDatabase(db);
+      if (!st.ok()) {
+        std::cerr << "lyric_serverd: store seed import failed: "
+                  << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "lyric_serverd: seeded empty store\n";
+    } else {
+      if (!opt.load.empty()) {
+        // Refusing is safer than guessing which of the two databases
+        // the operator meant to serve.
+        std::cerr << "lyric_serverd: --load given but store is non-empty; "
+                     "drop --load to serve the store, or point --store at "
+                     "a fresh path to re-seed\n";
+        return 2;
+      }
+      Status st = store->ExportToDatabase(&db);
+      if (!st.ok()) {
+        std::cerr << "lyric_serverd: store hydrate failed: " << st.ToString()
+                  << "\n";
+        return 1;
+      }
+      std::cout << "lyric_serverd: hydrated " << store->RecordCount()
+                << " records from store\n";
+    }
+  } else {
+    Status st = BuildInitialDatabase(opt, &db);
     if (!st.ok()) {
       std::cerr << "lyric_serverd: load failed: " << st.ToString() << "\n";
       return 1;
     }
-    std::cout << "lyric_serverd: loaded " << opt.load << "\n";
-  } else {
-    auto ids = lyric::office::BuildOfficeDatabase(&db);
-    if (!ids.ok()) {
-      std::cerr << "lyric_serverd: office build failed: "
-                << ids.status().ToString() << "\n";
-      return 1;
-    }
-    if (opt.scale > 0) {
-      Status st = lyric::office::AddScaledDesks(&db, opt.scale, /*seed=*/7);
-      if (!st.ok()) {
-        std::cerr << "lyric_serverd: scale failed: " << st.ToString() << "\n";
-        return 1;
-      }
-    }
-    std::cout << "lyric_serverd: serving the built-in office database"
-              << (opt.scale > 0 ? " (+" + std::to_string(opt.scale) + " desks)"
-                                : "")
-              << "\n";
   }
 
+  // -- serve ---------------------------------------------------------------
   lyric::exec::SchedulerLimits limits;
   limits.max_concurrent = opt.max_concurrent;
   limits.queue_capacity = opt.queue_capacity;
@@ -159,6 +318,7 @@ int main(int argc, char** argv) {
   if (opt.eval_threads > 0) sopts.eval.threads = opt.eval_threads;
   if (opt.max_rows > 0) sopts.eval.max_rows = opt.max_rows;
   if (limits.Any()) sopts.scheduler = &scheduler;
+  sopts.store = store.get();
 
   lyric::net::Server server(&db, sopts);
   Status st = server.Start();
@@ -168,16 +328,69 @@ int main(int argc, char** argv) {
   }
   std::cout << "lyric_serverd: listening on " << opt.host << ":"
             << server.port() << (limits.Any() ? " (admission limits on)" : "")
-            << std::endl;
+            << (store ? " [store-backed]" : "") << std::endl;
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  while (g_stop == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  if (!opt.port_file.empty()) {
+    st = lyric::storage::AtomicWriteFile(opt.port_file,
+                                         std::to_string(server.port()) + "\n");
+    if (!st.ok()) {
+      std::cerr << "lyric_serverd: port-file write failed: " << st.ToString()
+                << "\n";
+      server.Stop();
+      return 1;
+    }
   }
 
-  std::cout << "lyric_serverd: shutting down ("
-            << server.sessions_opened() << " sessions served)\n";
+  // -- lifecycle -----------------------------------------------------------
+  AwaitSignal(-1);
+  std::cout << "lyric_serverd: draining (" << server.in_flight_queries()
+            << " queries in flight, " << server.active_sessions()
+            << " sessions)" << std::endl;
+  server.BeginDrain();
+
+  // Phase 1: every accepted query gets its response delivered. Phase 2:
+  // linger until the (now shed-only) clients hang up, so their last
+  // response is never cut off mid-write by Stop. Both phases share the
+  // deadline and abort on a second signal.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.drain_deadline_ms);
+  bool forced = false;
+  for (;;) {
+    const bool idle = server.in_flight_queries() == 0 &&
+                      server.active_sessions() == 0;
+    if (idle) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      std::cerr << "lyric_serverd: drain deadline ("
+                << opt.drain_deadline_ms << "ms) exceeded, forcing stop\n";
+      forced = true;
+      break;
+    }
+    // Wake early for a second signal; otherwise re-check at 20ms —
+    // WaitForDrainIdle covers the queries, the poll covers sessions.
+    server.WaitForDrainIdle(1);
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int slice =
+        static_cast<int>(std::min<int64_t>(20, remaining.count()));
+    if (AwaitSignal(slice > 0 ? slice : 0) > 0) {
+      std::cerr << "lyric_serverd: second signal, forcing stop\n";
+      forced = true;
+      break;
+    }
+  }
+
+  std::cout << "lyric_serverd: shutting down (" << server.sessions_opened()
+            << " sessions served)" << std::endl;
   server.Stop();
-  return 0;
+
+  if (store) {
+    // Checkpoint inside Close compacts the WAL; failure is logged, not
+    // fatal — acknowledged commits are already durable in the WAL.
+    Status closed = store->Close();
+    if (!closed.ok()) {
+      std::cerr << "lyric_serverd: store close: " << closed.ToString() << "\n";
+    }
+  }
+  return forced ? 3 : 0;
 }
